@@ -1,0 +1,84 @@
+// Command oasis-datagen previews the synthetic datasets: it writes a PNG
+// contact sheet per dataset (rows = classes, columns = samples) so the
+// procedural "ImageNet"/"CIFAR100" stand-ins can be inspected visually.
+//
+//	oasis-datagen -out results [-per-class 6] [-seed 42]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	oasis "github.com/oasisfl/oasis"
+	"github.com/oasisfl/oasis/internal/imaging"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "oasis-datagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		outDir   = flag.String("out", "results", "output directory")
+		perClass = flag.Int("per-class", 6, "samples per class row")
+		seed     = flag.Uint64("seed", 42, "dataset seed")
+		maxRows  = flag.Int("max-classes", 10, "number of class rows to render")
+	)
+	flag.Parse()
+
+	sets := []oasis.Dataset{
+		oasis.NewSynthImageNet(*seed),
+		oasis.NewSynthCIFAR100(*seed),
+	}
+	for _, ds := range sets {
+		sheet, err := contactSheet(ds, *perClass, *maxRows)
+		if err != nil {
+			return fmt.Errorf("%s: %w", ds.Name(), err)
+		}
+		path := filepath.Join(*outDir, fmt.Sprintf("dataset_%s.png", ds.Name()))
+		if err := sheet.WritePNG(path); err != nil {
+			return err
+		}
+		c, h, w := ds.Shape()
+		fmt.Printf("%s: %d classes, %d samples, %dx%dx%d → %s\n",
+			ds.Name(), ds.NumClasses(), ds.Len(), c, h, w, path)
+	}
+	return nil
+}
+
+// contactSheet collects perClass samples for each of the first maxRows
+// classes into one montage.
+func contactSheet(ds oasis.Dataset, perClass, maxRows int) (*oasis.Image, error) {
+	rows := min(ds.NumClasses(), maxRows)
+	var tiles []*imaging.Image
+	counts := make([]int, ds.NumClasses())
+	// Samples are generated label = index mod classes, so a linear scan
+	// fills rows deterministically.
+	byClass := make([][]*imaging.Image, ds.NumClasses())
+	for i := 0; i < ds.Len(); i++ {
+		im, y := ds.Sample(i)
+		if y < rows && counts[y] < perClass {
+			byClass[y] = append(byClass[y], im)
+			counts[y]++
+		}
+		done := true
+		for y := 0; y < rows; y++ {
+			if counts[y] < perClass {
+				done = false
+				break
+			}
+		}
+		if done {
+			break
+		}
+	}
+	for y := 0; y < rows; y++ {
+		tiles = append(tiles, byClass[y]...)
+	}
+	return imaging.Montage(tiles, perClass)
+}

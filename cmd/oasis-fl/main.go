@@ -1,0 +1,223 @@
+// Command oasis-fl runs a federated-learning deployment over the TCP
+// transport: one server process and N client processes (or all roles in a
+// single process with -demo).
+//
+// Honest run:
+//
+//	oasis-fl -role server -addr :7070 -clients 4 -rounds 20
+//	oasis-fl -role client -addr host:7070 -name hospital-1 -defense MR
+//
+// Dishonest-server demonstration (the paper's threat model):
+//
+//	oasis-fl -role server -addr :7070 -clients 2 -attack rtf -out results
+//
+// Demo mode spawns the server and clients in-process over real TCP sockets:
+//
+//	oasis-fl -demo -clients 3 -rounds 5 -attack rtf -defense MR
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"sync"
+	"syscall"
+	"time"
+
+	oasis "github.com/oasisfl/oasis"
+	"github.com/oasisfl/oasis/internal/imaging"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "oasis-fl:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		role     = flag.String("role", "", "server | client (empty with -demo)")
+		demo     = flag.Bool("demo", false, "run server and clients in one process")
+		addr     = flag.String("addr", "127.0.0.1:7070", "server listen / dial address")
+		name     = flag.String("name", "client-1", "client name")
+		clients  = flag.Int("clients", 2, "clients the server waits for / demo spawns")
+		rounds   = flag.Int("rounds", 5, "FL rounds")
+		batch    = flag.Int("batch", 8, "client batch size")
+		defName  = flag.String("defense", "", "OASIS policy for clients (MR, mR, SH, HFlip, VFlip, MR+SH; empty = undefended)")
+		attackID = flag.String("attack", "", "dishonest server attack (rtf | cah; empty = honest)")
+		seed     = flag.Uint64("seed", 42, "deterministic seed")
+		outDir   = flag.String("out", "", "directory for reconstruction montages (server side)")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	switch {
+	case *demo:
+		return runDemo(ctx, *clients, *rounds, *batch, *defName, *attackID, *seed, *outDir)
+	case *role == "server":
+		return runServer(ctx, *addr, *clients, *rounds, *attackID, *seed, *outDir)
+	case *role == "client":
+		return runClient(ctx, *addr, *name, *batch, *defName, *seed)
+	default:
+		return fmt.Errorf("pass -demo, or -role server|client")
+	}
+}
+
+// newClient assembles a local client with an optional OASIS defense.
+func newClient(name string, batch int, defName string, seed uint64) (*oasis.FLLocalClient, error) {
+	shard := oasis.NewSynthDataset("site-"+name, 10, 3, 32, 32, 512, seed)
+	client := oasis.NewFLClient(name, shard, batch, oasis.NewRand(seed, hash(name)))
+	if defName != "" {
+		def, err := oasis.NewDefense(defName)
+		if err != nil {
+			return nil, err
+		}
+		client.Pre = def
+	}
+	return client, nil
+}
+
+func runClient(ctx context.Context, addr, name string, batch int, defName string, seed uint64) error {
+	client, err := newClient(name, batch, defName, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("client %s connecting to %s (defense=%q)\n", name, addr, defName)
+	return oasis.ServeTCP(ctx, addr, client)
+}
+
+func runServer(ctx context.Context, addr string, clients, rounds int, attackID string, seed uint64, outDir string) error {
+	roster, err := oasis.ListenTCP(addr)
+	if err != nil {
+		return err
+	}
+	defer roster.Close()
+	fmt.Printf("server listening on %s, waiting for %d clients…\n", roster.Addr(), clients)
+	waitCtx, cancel := context.WithTimeout(ctx, 2*time.Minute)
+	defer cancel()
+	if err := roster.WaitForClients(waitCtx, clients); err != nil {
+		return err
+	}
+	return drive(ctx, roster, rounds, attackID, seed, outDir)
+}
+
+// drive runs the FL rounds over any roster and reports results.
+func drive(ctx context.Context, roster oasis.FLRoster, rounds int, attackID string, seed uint64, outDir string) error {
+	rng := oasis.NewRand(seed, 0xf1)
+	ds := oasis.NewSynthDataset("server-arch", 10, 3, 32, 32, 512, seed)
+	model := oasis.NewMLP(ds, 64, rng)
+
+	cfg := oasis.FLServerConfig{Rounds: rounds, LearningRate: 0.05, Seed: seed}
+	server := oasis.NewFLServer(cfg, model, roster)
+
+	var dishonest *oasis.DishonestServer
+	switch attackID {
+	case "":
+	case "rtf":
+		atk, err := oasis.NewRTFAttack(ds, 300, rng)
+		if err != nil {
+			return err
+		}
+		dishonest, err = oasis.NewRTFServer(atk, rng)
+		if err != nil {
+			return err
+		}
+	case "cah":
+		atk, err := oasis.NewCAHAttack(ds, 300, 16, rng)
+		if err != nil {
+			return err
+		}
+		dishonest, err = oasis.NewCAHServer(atk, rng)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown attack %q (want rtf or cah)", attackID)
+	}
+	if dishonest != nil {
+		server.Modifier = dishonest
+		server.Observer = dishonest
+		fmt.Printf("server is DISHONEST: %s\n", dishonest.Name())
+	}
+
+	hist, err := server.Run(ctx)
+	if err != nil {
+		return err
+	}
+	for _, r := range hist.Rounds {
+		fmt.Printf("round %d: %d clients, mean loss %.4f\n", r.Round, len(r.Clients), r.MeanLoss)
+	}
+	if dishonest != nil {
+		total := 0
+		for _, cap := range dishonest.Captures() {
+			total += len(cap.Reconstructions)
+			if outDir != "" && len(cap.Reconstructions) > 0 {
+				m, err := imaging.Montage(cap.Reconstructions, 8)
+				if err != nil {
+					return err
+				}
+				path := filepath.Join(outDir, fmt.Sprintf("capture_r%d_%s.png", cap.Round, cap.ClientID))
+				if err := m.WritePNG(path); err != nil {
+					return err
+				}
+				fmt.Println("wrote", path)
+			}
+		}
+		fmt.Printf("dishonest server reconstructed %d images across %d captures\n",
+			total, len(dishonest.Captures()))
+	}
+	return nil
+}
+
+func runDemo(ctx context.Context, clients, rounds, batch int, defName, attackID string, seed uint64, outDir string) error {
+	roster, err := oasis.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer roster.Close()
+	fmt.Printf("demo: server on %s with %d in-process TCP clients\n", roster.Addr(), clients)
+
+	clientCtx, stopClients := context.WithCancel(ctx)
+	defer stopClients()
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		name := fmt.Sprintf("client-%d", i+1)
+		c, err := newClient(name, batch, defName, seed+uint64(i))
+		if err != nil {
+			return err
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := oasis.ServeTCP(clientCtx, roster.Addr(), c); err != nil {
+				fmt.Fprintf(os.Stderr, "demo client %s: %v\n", name, err)
+			}
+		}()
+	}
+	waitCtx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	if err := roster.WaitForClients(waitCtx, clients); err != nil {
+		return err
+	}
+	if err := drive(ctx, roster, rounds, attackID, seed, outDir); err != nil {
+		return err
+	}
+	stopClients()
+	wg.Wait()
+	return nil
+}
+
+func hash(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

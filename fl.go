@@ -1,0 +1,178 @@
+package oasis
+
+import (
+	"context"
+	rand "math/rand/v2"
+
+	"github.com/oasisfl/oasis/internal/attack"
+	"github.com/oasisfl/oasis/internal/data"
+	"github.com/oasisfl/oasis/internal/fl"
+	"github.com/oasisfl/oasis/internal/nn"
+	"github.com/oasisfl/oasis/internal/opt"
+)
+
+// Federated-learning surface: the protocol types a downstream user touches
+// when simulating (or actually running) the paper's setting.
+type (
+	// FLServer coordinates rounds per §II-A of the paper.
+	FLServer = fl.Server
+	// FLServerConfig parametrizes rounds, client sampling and η.
+	FLServerConfig = fl.ServerConfig
+	// FLClient is one federated participant.
+	FLClient = fl.Client
+	// FLLocalClient is the standard client over a local data shard.
+	FLLocalClient = fl.LocalClient
+	// FLHistory traces a completed run.
+	FLHistory = fl.History
+	// FLUpdate is a client's uploaded gradient payload.
+	FLUpdate = fl.Update
+	// FLRoster abstracts how the server reaches its clients.
+	FLRoster = fl.Roster
+	// MemoryRoster is the in-process transport.
+	MemoryRoster = fl.MemoryRoster
+	// TCPServer is the TCP/gob transport's listener side.
+	TCPServer = fl.TCPServer
+	// DishonestServer plants malicious models and inverts updates; it
+	// implements both server hooks of the threat model.
+	DishonestServer = attack.DishonestServer
+	// Capture is one reconstruction event observed by a dishonest server.
+	Capture = attack.Capture
+	// Model is a runnable network (the global model being trained).
+	Model = nn.Sequential
+)
+
+// NewMemoryRoster creates the in-process client roster.
+func NewMemoryRoster() *MemoryRoster { return fl.NewMemoryRoster() }
+
+// SaveModel checkpoints a model (architecture + weights + normalization
+// state) to disk; LoadModel restores a functionally identical network.
+func SaveModel(model *Model, path string) error { return fl.SaveModel(model, path) }
+
+// LoadModel restores a model saved with SaveModel.
+func LoadModel(path string) (*Model, error) { return fl.LoadModel(path) }
+
+// NewFLClient constructs a client over a dataset shard. Assign a *Defense to
+// the client's Pre field to turn on OASIS, and a gradient defense (DPSGD,
+// pruning) to GradDef for the §V baselines.
+func NewFLClient(name string, shard Dataset, batchSize int, rng *rand.Rand) *FLLocalClient {
+	return fl.NewLocalClient(name, shard, batchSize, rng)
+}
+
+// NewFLServer builds a server over a global model and roster.
+func NewFLServer(cfg FLServerConfig, model *Model, roster FLRoster) *FLServer {
+	return fl.NewServer(cfg, model, roster)
+}
+
+// ListenTCP starts a TCP roster on addr ("127.0.0.1:0" for an ephemeral
+// port).
+func ListenTCP(addr string) (*TCPServer, error) {
+	return fl.ListenTCP(addr, fl.TCPServerOptions{})
+}
+
+// ServeTCP connects a client to a remote FL server and blocks until
+// shutdown.
+func ServeTCP(ctx context.Context, addr string, client FLClient) error {
+	return fl.ServeTCP(ctx, addr, client)
+}
+
+// NewRTFServer wraps a calibrated RTF attack as dishonest-server hooks.
+func NewRTFServer(a *RTFAttack, rng *rand.Rand) (*DishonestServer, error) {
+	return attack.NewRTFServer(a, rng)
+}
+
+// NewCAHServer wraps a calibrated CAH attack as dishonest-server hooks.
+func NewCAHServer(a *CAHAttack, rng *rand.Rand) (*DishonestServer, error) {
+	return attack.NewCAHServer(a, rng)
+}
+
+// NewClassifier builds the ResNet-lite classifier used as the honest global
+// model (width controls capacity; see nn.NewResNetLite).
+func NewClassifier(ds Dataset, width int, rng *rand.Rand) *Model {
+	c, _, _ := ds.Shape()
+	return nn.NewResNetLite(nn.ResNetLiteConfig{
+		InChannels: c, NumClasses: ds.NumClasses(), Width: width,
+	}, rng)
+}
+
+// NewMLP builds a small fully-connected classifier (flat input), the model
+// family the malicious layers of the attacks are planted in.
+func NewMLP(ds Dataset, hidden int, rng *rand.Rand) *Model {
+	c, h, w := ds.Shape()
+	d := c * h * w
+	return nn.NewSequential(
+		nn.NewLinear("fc1", d, hidden, rng),
+		nn.NewReLU("relu1"),
+		nn.NewLinear("fc2", hidden, ds.NumClasses(), rng),
+	)
+}
+
+// ShardDataset splits a dataset into n disjoint client shards of equal size.
+func ShardDataset(ds Dataset, n int, rng *rand.Rand) ([]Dataset, error) {
+	per := ds.Len() / n
+	sizes := make([]int, n)
+	for i := range sizes {
+		sizes[i] = per
+	}
+	parts, err := data.Split(ds.Len(), rng, sizes...)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Dataset, n)
+	for i, idx := range parts {
+		out[i] = data.NewSubset(ds, idx, ds.Name()+"-shard")
+	}
+	return out, nil
+}
+
+// TrainCentralized runs plain centralized training (used by Table I and the
+// examples): epochs over trainSet with Adam, returning test accuracy.
+func TrainCentralized(model *Model, trainSet, testSet Dataset, def *Defense, epochs, batchSize int, rng *rand.Rand) (float64, error) {
+	optimizer := opt.NewAdam(1e-3, 1e-4)
+	loss := nn.SoftmaxCrossEntropy{}
+	n := trainSet.Len()
+	for ep := 0; ep < epochs; ep++ {
+		perm := rng.Perm(n)
+		for off := 0; off+batchSize <= n; off += batchSize {
+			batch, err := data.TakeBatch(trainSet, perm[off:off+batchSize])
+			if err != nil {
+				return 0, err
+			}
+			if def != nil {
+				batch, err = def.Apply(batch)
+				if err != nil {
+					return 0, err
+				}
+			}
+			model.ZeroGrad()
+			logits := model.Forward(batch.Tensor4D(), true)
+			_, g := loss.Compute(logits, batch.Labels)
+			model.Backward(g)
+			optimizer.Step(model.Params())
+		}
+	}
+	return EvaluateAccuracy(model, testSet, batchSize)
+}
+
+// EvaluateAccuracy computes classification accuracy over a dataset in
+// inference mode.
+func EvaluateAccuracy(model *Model, testSet Dataset, batchSize int) (float64, error) {
+	correct, total := 0.0, 0
+	for off := 0; off < testSet.Len(); off += batchSize {
+		end := min(off+batchSize, testSet.Len())
+		idx := make([]int, 0, end-off)
+		for i := off; i < end; i++ {
+			idx = append(idx, i)
+		}
+		batch, err := data.TakeBatch(testSet, idx)
+		if err != nil {
+			return 0, err
+		}
+		logits := model.Forward(batch.Tensor4D(), false)
+		correct += nn.Accuracy(logits, batch.Labels) * float64(batch.Size())
+		total += batch.Size()
+	}
+	if total == 0 {
+		return 0, nil
+	}
+	return correct / float64(total), nil
+}

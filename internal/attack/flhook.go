@@ -1,0 +1,114 @@
+package attack
+
+import (
+	"fmt"
+	rand "math/rand/v2"
+	"sync"
+
+	"github.com/oasisfl/oasis/internal/fl"
+	"github.com/oasisfl/oasis/internal/imaging"
+	"github.com/oasisfl/oasis/internal/tensor"
+)
+
+// Reconstructor inverts malicious-layer gradients into images. Both RTF and
+// CAH satisfy this.
+type Reconstructor interface {
+	Reconstruct(gw, gb *tensor.Tensor) []*imaging.Image
+}
+
+var (
+	_ Reconstructor = (*RTF)(nil)
+	_ Reconstructor = (*CAH)(nil)
+)
+
+// Capture is one reconstruction event: what the dishonest server recovered
+// from one client in one round.
+type Capture struct {
+	Round           int
+	ClientID        string
+	Reconstructions []*imaging.Image
+}
+
+// DishonestServer implements both fl.ModelModifier and fl.UpdateObserver: it
+// swaps every dispatched model for the attack's malicious victim model and
+// inverts every uploaded gradient. Plug it into fl.Server.Modifier and
+// fl.Server.Observer to run the paper's threat model end to end.
+type DishonestServer struct {
+	label string
+	spec  fl.ModelSpec
+	recon Reconstructor
+
+	mu       sync.Mutex
+	captures []Capture
+}
+
+var (
+	_ fl.ModelModifier  = (*DishonestServer)(nil)
+	_ fl.UpdateObserver = (*DishonestServer)(nil)
+)
+
+// NewDishonestServer wraps a calibrated attack (its victim model and its
+// reconstructor) as FL server hooks.
+func NewDishonestServer(label string, victim *Victim, recon Reconstructor) (*DishonestServer, error) {
+	spec, err := fl.EncodeModel(victim.Net)
+	if err != nil {
+		return nil, fmt.Errorf("attack: encode malicious model: %w", err)
+	}
+	return &DishonestServer{label: label, spec: spec, recon: recon}, nil
+}
+
+// NewRTFServer builds the dishonest-server hooks for a calibrated RTF attack.
+func NewRTFServer(a *RTF, rng *rand.Rand) (*DishonestServer, error) {
+	victim, err := a.BuildVictim(rng)
+	if err != nil {
+		return nil, err
+	}
+	return NewDishonestServer("rtf", victim, a)
+}
+
+// NewCAHServer builds the dishonest-server hooks for a calibrated CAH attack.
+func NewCAHServer(a *CAH, rng *rand.Rand) (*DishonestServer, error) {
+	victim, err := a.BuildVictim(rng)
+	if err != nil {
+		return nil, err
+	}
+	return NewDishonestServer("cah", victim, a)
+}
+
+// Modify discards the honest global model and dispatches the malicious one —
+// the paper's §III-A capability ("changing and/or adding model parameters").
+func (d *DishonestServer) Modify(_ int, _ fl.ModelSpec) (fl.ModelSpec, error) {
+	return d.spec, nil
+}
+
+// Name labels the modifier for logs.
+func (d *DishonestServer) Name() string { return "dishonest-" + d.label }
+
+// Observe inverts one client's uploaded gradients. The victim model's
+// parameter order puts the malicious layer's weight and bias first.
+func (d *DishonestServer) Observe(round int, u fl.Update) {
+	if len(u.Grads) < 2 {
+		return
+	}
+	gw, gb := u.Grads[0], u.Grads[1]
+	if gw.Dims() != 2 || gb.Dims() != 1 || gw.Dim(0) != gb.Dim(0) {
+		return // client returned something that is not our malicious layout
+	}
+	recons := d.recon.Reconstruct(gw, gb)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.captures = append(d.captures, Capture{
+		Round:           round,
+		ClientID:        u.ClientID,
+		Reconstructions: recons,
+	})
+}
+
+// Captures returns a snapshot of everything reconstructed so far.
+func (d *DishonestServer) Captures() []Capture {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]Capture, len(d.captures))
+	copy(out, d.captures)
+	return out
+}

@@ -1,0 +1,244 @@
+package core
+
+import (
+	"errors"
+	"math"
+	rand "math/rand/v2"
+	"testing"
+
+	"github.com/oasisfl/oasis/internal/augment"
+	"github.com/oasisfl/oasis/internal/data"
+	"github.com/oasisfl/oasis/internal/imaging"
+	"github.com/oasisfl/oasis/internal/tensor"
+)
+
+func testBatch(seed uint64, n int) *data.Batch {
+	rng := rand.New(rand.NewPCG(seed, 1))
+	b := &data.Batch{}
+	for i := 0; i < n; i++ {
+		im := imaging.NewImage(3, 8, 8)
+		for j := range im.Pix {
+			im.Pix[j] = rng.Float64()
+		}
+		b.Append(im, i%4)
+	}
+	return b
+}
+
+func TestApplyBuildsEq7Union(t *testing.T) {
+	b := testBatch(1, 4)
+	def := New(augment.MajorRotation{})
+	out, err := def.Apply(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// |D′| = |D|·(1 + 3 rotations)
+	if out.Size() != 16 {
+		t.Fatalf("|D′| = %d, want 16", out.Size())
+	}
+	// The first |D| entries are the originals, untouched.
+	for i := 0; i < 4; i++ {
+		if imaging.MSE(out.Images[i], b.Images[i]) != 0 {
+			t.Errorf("original %d was modified", i)
+		}
+	}
+	// Every transform copies its source label (Eq. 7: X′_t labeled as x_t).
+	for i := 4; i < 16; i++ {
+		src := (i - 4) / 3
+		if out.Labels[i] != b.Labels[src] {
+			t.Errorf("transform %d has label %d, want %d", i, out.Labels[i], b.Labels[src])
+		}
+	}
+}
+
+func TestApplyDoesNotMutateInput(t *testing.T) {
+	b := testBatch(2, 3)
+	before := b.Clone()
+	def := New(augment.Shearing{})
+	if _, err := def.Apply(b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Size() != before.Size() {
+		t.Fatal("Apply mutated the input batch size")
+	}
+	for i := range b.Images {
+		if imaging.MSE(b.Images[i], before.Images[i]) != 0 {
+			t.Fatal("Apply mutated an input image")
+		}
+	}
+}
+
+func TestApplyPreservesMean(t *testing.T) {
+	// With PreserveMean on (the default), every transformed copy has the
+	// same mean brightness as its source — the RTF bin-membership
+	// guarantee.
+	b := testBatch(3, 2)
+	def := New(augment.NewCompose(augment.Shearing{}, augment.MinorRotation{}))
+	out, err := def.Apply(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kPer := (out.Size() - b.Size()) / b.Size()
+	for ti := 0; ti < b.Size(); ti++ {
+		want := b.Images[ti].Mean()
+		for k := 0; k < kPer; k++ {
+			got := out.Images[b.Size()+ti*kPer+k].Mean()
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("transform mean %.12f != source mean %.12f", got, want)
+			}
+		}
+	}
+}
+
+func TestApplyWithoutPreserveMeanShiftsShears(t *testing.T) {
+	b := testBatch(4, 1)
+	def := &Defense{Policy: augment.Shearing{}, PreserveMean: false}
+	out, err := def.Apply(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zero-fill shearing loses bright mass; without restoration the means
+	// must differ noticeably.
+	src := b.Images[0].Mean()
+	moved := false
+	for _, im := range out.Images[1:] {
+		if math.Abs(im.Mean()-src) > 1e-3 {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Error("expected zero-fill shear to change mean when PreserveMean is off")
+	}
+}
+
+func TestApplyNilPolicy(t *testing.T) {
+	def := &Defense{}
+	if _, err := def.Apply(testBatch(5, 2)); !errors.Is(err, ErrNoPolicy) {
+		t.Errorf("err = %v, want ErrNoPolicy", err)
+	}
+	if def.Name() != "WO" {
+		t.Errorf("nil-policy name = %q, want WO", def.Name())
+	}
+}
+
+func TestExpansionFactor(t *testing.T) {
+	def := New(augment.NewCompose(augment.MajorRotation{}, augment.Shearing{}))
+	f, err := def.ExpansionFactor(3, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f != 7 {
+		t.Errorf("expansion factor = %g, want 7", f)
+	}
+}
+
+func TestActivationSets(t *testing.T) {
+	// Toy malicious layer: neuron 0 fires when x0 > 0.5, neuron 1 when
+	// x1 > 0.5.
+	w := tensor.MustFromSlice([]float64{
+		1, 0,
+		0, 1,
+	}, 2, 2)
+	bias := tensor.MustFromSlice([]float64{-0.5, -0.5}, 2)
+	inputs := tensor.MustFromSlice([]float64{
+		0.9, 0.1, // activates neuron 0 only
+		0.1, 0.9, // activates neuron 1 only
+		0.9, 0.9, // both
+		0.1, 0.1, // neither
+	}, 4, 2)
+	sets := ActivationSets(w, bias, inputs)
+	want := [][]bool{{true, false}, {false, true}, {true, true}, {false, false}}
+	for i := range want {
+		for j := range want[i] {
+			if sets[i][j] != want[i][j] {
+				t.Errorf("sets[%d][%d] = %v, want %v", i, j, sets[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+func TestAnalyzeProp1MeanMeasurementLayer(t *testing.T) {
+	// A mean-brightness imprint layer (RTF-style): all weight rows equal
+	// 1/d, ascending thresholds. With PreserveMean transforms, every
+	// original must share its activation set with its transforms exactly.
+	b := testBatch(6, 4)
+	d := 3 * 8 * 8
+	n := 32
+	w := tensor.New(n, d)
+	for i := range w.Data() {
+		w.Data()[i] = 1.0 / float64(d)
+	}
+	bias := tensor.New(n)
+	for i := 0; i < n; i++ {
+		bias.Data()[i] = -(0.3 + 0.4*float64(i)/float64(n))
+	}
+	def := New(augment.MajorRotation{})
+	rep, err := AnalyzeProp1(def, b, w, bias)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SameSetFraction != 1 {
+		t.Errorf("same-set fraction = %g, want 1 (Proposition 1 exact)", rep.SameSetFraction)
+	}
+	if rep.SoloNeuronFraction != 0 {
+		t.Errorf("solo fraction = %g, want 0", rep.SoloNeuronFraction)
+	}
+	if rep.MeanJaccard != 1 {
+		t.Errorf("jaccard = %g, want 1", rep.MeanJaccard)
+	}
+}
+
+func TestAnalyzeProp1WOBaseline(t *testing.T) {
+	b := testBatch(7, 3)
+	w := tensor.New(4, 3*8*8)
+	rng := rand.New(rand.NewPCG(9, 9))
+	w.FillRandn(rng, 0.1)
+	bias := tensor.New(4)
+	rep, err := AnalyzeProp1(&Defense{}, b, w, bias)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Policy != "WO" {
+		t.Errorf("policy = %q", rep.Policy)
+	}
+	if rep.SameSetFraction != 0 || rep.MeanJaccard != 0 {
+		t.Error("WO baseline should report zero transform overlap")
+	}
+}
+
+func TestStandardDefenses(t *testing.T) {
+	defs := StandardDefenses()
+	if len(defs) != 6 {
+		t.Fatalf("%d standard defenses, want 6", len(defs))
+	}
+	names := map[string]bool{}
+	for _, d := range defs {
+		names[d.Name()] = true
+		if !d.PreserveMean {
+			t.Errorf("defense %s does not preserve mean by default", d.Name())
+		}
+	}
+	for _, want := range []string{"MR", "mR", "SH", "HFlip", "VFlip", "MR+SH"} {
+		if !names[want] {
+			t.Errorf("missing standard defense %s", want)
+		}
+	}
+}
+
+func TestRandomizedDefense(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	def, err := RandomizedDefense("SH", 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := def.Apply(testBatch(8, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Size() != 6 {
+		t.Errorf("|D′| = %d, want 6", out.Size())
+	}
+	if _, err := RandomizedDefense("nope", 2, rng); err == nil {
+		t.Error("invalid randomized kind accepted")
+	}
+}

@@ -1,0 +1,158 @@
+// Package defense implements the non-OASIS baseline defenses the paper
+// compares against (§V):
+//
+//   - DPSGD: per-example gradient clipping plus Gaussian noise (Abadi et
+//     al.). The paper notes that noise strong enough to hide content also
+//     destroys model utility.
+//   - Gradient pruning/sparsification (Zhu et al. [38], Sun et al. [37]):
+//     zeroing small-magnitude gradients; [17] shows data remains
+//     recognizable even with most gradients pruned.
+//   - ATS-style transformation replacement (Gao et al. [41]): each image is
+//     *replaced* by one transformed copy instead of being *accompanied* by
+//     transforms. Figure 14 demonstrates the attack principle still applies:
+//     a neuron activated only by the transformed image reconstructs it
+//     verbatim.
+package defense
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	rand "math/rand/v2"
+	"sort"
+
+	"github.com/oasisfl/oasis/internal/augment"
+	"github.com/oasisfl/oasis/internal/data"
+	"github.com/oasisfl/oasis/internal/tensor"
+)
+
+// GradientDefense post-processes a client's gradient tensors before upload.
+type GradientDefense interface {
+	// Apply transforms the gradients in place.
+	Apply(grads []*tensor.Tensor)
+	Name() string
+}
+
+// DPSGD clips the global gradient norm to Clip and adds Gaussian noise with
+// standard deviation Sigma·Clip to every coordinate.
+type DPSGD struct {
+	Clip  float64
+	Sigma float64
+	Rng   *rand.Rand
+}
+
+var _ GradientDefense = (*DPSGD)(nil)
+
+// NewDPSGD constructs the defense; clip and sigma must be positive.
+func NewDPSGD(clip, sigma float64, rng *rand.Rand) (*DPSGD, error) {
+	if clip <= 0 || sigma < 0 {
+		return nil, fmt.Errorf("defense: DPSGD needs clip > 0 and sigma ≥ 0, got clip=%g sigma=%g", clip, sigma)
+	}
+	return &DPSGD{Clip: clip, Sigma: sigma, Rng: rng}, nil
+}
+
+// Apply clips the joint norm and perturbs every gradient coordinate.
+func (d *DPSGD) Apply(grads []*tensor.Tensor) {
+	norm := 0.0
+	for _, g := range grads {
+		n := g.L2Norm()
+		norm += n * n
+	}
+	norm = math.Sqrt(norm)
+	scale := 1.0
+	if norm > d.Clip {
+		scale = d.Clip / norm
+	}
+	std := d.Sigma * d.Clip
+	for _, g := range grads {
+		gd := g.Data()
+		for i := range gd {
+			gd[i] = gd[i]*scale + d.Rng.NormFloat64()*std
+		}
+	}
+}
+
+// Name returns a label including the noise multiplier.
+func (d *DPSGD) Name() string { return fmt.Sprintf("dpsgd(σ=%g)", d.Sigma) }
+
+// Pruning zeroes all but the largest-magnitude fraction Keep of gradient
+// coordinates (global top-k sparsification).
+type Pruning struct {
+	Keep float64 // fraction of coordinates kept, in (0, 1]
+}
+
+var _ GradientDefense = (*Pruning)(nil)
+
+// NewPruning constructs the defense; keep must be in (0, 1].
+func NewPruning(keep float64) (*Pruning, error) {
+	if keep <= 0 || keep > 1 {
+		return nil, fmt.Errorf("defense: pruning keep fraction %g outside (0,1]", keep)
+	}
+	return &Pruning{Keep: keep}, nil
+}
+
+// Apply zeroes every coordinate below the global magnitude threshold.
+func (p *Pruning) Apply(grads []*tensor.Tensor) {
+	if p.Keep >= 1 {
+		return
+	}
+	total := 0
+	for _, g := range grads {
+		total += g.Len()
+	}
+	mags := make([]float64, 0, total)
+	for _, g := range grads {
+		for _, v := range g.Data() {
+			mags = append(mags, math.Abs(v))
+		}
+	}
+	sort.Float64s(mags)
+	cut := mags[int(float64(total)*(1-p.Keep))]
+	for _, g := range grads {
+		gd := g.Data()
+		for i, v := range gd {
+			if math.Abs(v) < cut {
+				gd[i] = 0
+			}
+		}
+	}
+}
+
+// Name returns a label including the keep fraction.
+func (p *Pruning) Name() string { return fmt.Sprintf("prune(keep=%g)", p.Keep) }
+
+// ErrNoPolicy is returned when ATS is constructed without a policy.
+var ErrNoPolicy = errors.New("defense: ATS requires an augmentation policy")
+
+// ATS is the transformation-replacement defense of Gao et al. [41]: every
+// image in the batch is replaced with one transformed version of itself.
+// Unlike OASIS it does not add the original alongside, so a malicious neuron
+// activated solely by the transformed image still reconstructs it perfectly
+// (Figure 14).
+type ATS struct {
+	Policy augment.Policy
+	Rng    *rand.Rand
+}
+
+// NewATS constructs the replacement defense.
+func NewATS(policy augment.Policy, rng *rand.Rand) (*ATS, error) {
+	if policy == nil {
+		return nil, ErrNoPolicy
+	}
+	return &ATS{Policy: policy, Rng: rng}, nil
+}
+
+// Apply returns a new batch where each image is one randomly chosen
+// transform of the original.
+func (a *ATS) Apply(b *data.Batch) *data.Batch {
+	out := &data.Batch{}
+	for i, im := range b.Images {
+		variants := a.Policy.Expand(im)
+		pick := variants[a.Rng.IntN(len(variants))]
+		out.Append(pick, b.Labels[i])
+	}
+	return out
+}
+
+// Name returns the defense label.
+func (a *ATS) Name() string { return "ats(" + a.Policy.Name() + ")" }

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"path/filepath"
+
+	"github.com/oasisfl/oasis/internal/attack"
+	"github.com/oasisfl/oasis/internal/augment"
+	"github.com/oasisfl/oasis/internal/data"
+	"github.com/oasisfl/oasis/internal/defense"
+	"github.com/oasisfl/oasis/internal/imaging"
+	"github.com/oasisfl/oasis/internal/metrics"
+	"github.com/oasisfl/oasis/internal/nn"
+)
+
+// Fig14 reproduces the comparison against the ATS defense of Gao et al.
+// [41]: replacing each image with a transformed copy (instead of adding the
+// copies alongside, as OASIS does) does not address the attack principle —
+// a neuron activated solely by the transformed image still reconstructs it
+// verbatim, revealing the content. The table contrasts the PSNR of the RTF
+// reconstruction against the *client batch actually used for training* (what
+// the attacker extracts) under ATS vs OASIS.
+func Fig14(cfg Config) (*Result, error) {
+	ds := data.NewSynthImageNet(cfg.Seed)
+	c, h, w := ds.Shape()
+	dims := attack.ImageDims{C: c, H: h, W: w}
+	b, n := 8, 400
+	trials := 3
+	if cfg.Quick {
+		n, trials = 150, 1
+	}
+	rng := nn.RandSource(cfg.Seed^0xf16_14, 1)
+	rtf, err := attack.NewRTF(dims, ds.NumClasses(), n, ds, rng, 128)
+	if err != nil {
+		return nil, err
+	}
+	ats, err := defense.NewATS(augment.MajorRotation{}, rng)
+	if err != nil {
+		return nil, err
+	}
+
+	t := metrics.NewTable("Figure 14: RTF vs ATS replacement defense (PSNR against the images used for training)",
+		"defense", "mean_psnr_dB", "max_psnr_dB", "verbatim_recoveries")
+	res := &Result{ID: "fig14"}
+
+	type variant struct {
+		name  string
+		apply func(*data.Batch) (*data.Batch, []*imaging.Image, error)
+	}
+	variants := []variant{
+		{"ats(MR)", func(batch *data.Batch) (*data.Batch, []*imaging.Image, error) {
+			// ATS trains on the replaced images; those are the secrets.
+			replaced := ats.Apply(batch)
+			return replaced, replaced.Images, nil
+		}},
+		{"oasis(MR)", func(batch *data.Batch) (*data.Batch, []*imaging.Image, error) {
+			expanded, err := applyPolicy(batch, "MR")
+			if err != nil {
+				return nil, nil, err
+			}
+			return expanded, batch.Images, nil
+		}},
+	}
+
+	var atsRecons []*imaging.Image
+	var atsTraining []*imaging.Image
+	for _, v := range variants {
+		var psnrs []float64
+		verbatim := 0
+		for tr := 0; tr < trials; tr++ {
+			batch, err := data.RandomBatch(ds, rng, b)
+			if err != nil {
+				return nil, err
+			}
+			client, secrets, err := v.apply(batch)
+			if err != nil {
+				return nil, err
+			}
+			ev, recons, err := rtf.Run(client, secrets, rng)
+			if err != nil {
+				return nil, err
+			}
+			psnrs = append(psnrs, ev.PSNRs...)
+			for _, p := range ev.PerOriginalBest {
+				if p > 100 {
+					verbatim++
+				}
+			}
+			if v.name == "ats(MR)" && tr == 0 {
+				atsRecons = recons
+				atsTraining = secrets
+			}
+		}
+		s := metrics.Summarize(psnrs)
+		t.AddRowf(v.name, s.Mean, s.Max, verbatim)
+		cfg.logf("fig14 %s mean=%.2f max=%.2f verbatim=%d", v.name, s.Mean, s.Max, verbatim)
+	}
+	res.Tables = append(res.Tables, t)
+
+	if cfg.OutDir != "" && len(atsRecons) > 0 {
+		tiles := make([]*imaging.Image, 0, 2*len(atsTraining))
+		for _, orig := range atsTraining {
+			tiles = append(tiles, orig.Clone().Clamp(), bestReconFor(orig, atsRecons))
+		}
+		m, err := imaging.Montage(tiles, 2)
+		if err != nil {
+			return nil, err
+		}
+		path := filepath.Join(cfg.OutDir, "fig14_ats.png")
+		if err := m.WritePNG(path); err != nil {
+			return nil, err
+		}
+		res.Artifacts = append(res.Artifacts, path)
+	}
+	res.Notes = append(res.Notes,
+		"ATS row: the attacker recovers the replaced training images verbatim — content revealed (Fig. 14).",
+		"OASIS row: every reconstruction is a transform blend; nothing is recovered verbatim.")
+	if err := res.saveCSV(cfg, "fig14.csv", t); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

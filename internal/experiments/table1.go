@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"fmt"
+	rand "math/rand/v2"
+
+	"github.com/oasisfl/oasis/internal/augment"
+	"github.com/oasisfl/oasis/internal/core"
+	"github.com/oasisfl/oasis/internal/data"
+	"github.com/oasisfl/oasis/internal/metrics"
+	"github.com/oasisfl/oasis/internal/nn"
+	"github.com/oasisfl/oasis/internal/opt"
+)
+
+// Table1 reproduces the model-utility comparison: a residual classifier is
+// trained under identical budgets with every OASIS transformation and
+// without OASIS, and test accuracy is compared. The paper trains ResNet-18
+// on ImageNet/CIFAR100 with Adam (lr 1e-3); this runner trains ResNet-lite
+// on reduced-resolution synthetic variants with the same optimizer family —
+// the comparison of interest (OASIS ≈ WO accuracy) is preserved because all
+// rows share dataset, architecture and budget. See DESIGN.md.
+func Table1(cfg Config) (*Result, error) {
+	type setCfg struct {
+		ds     data.Dataset
+		train  int
+		test   int
+		epochs int
+		batch  int
+		width  int
+	}
+	var sets []setCfg
+	var policies []string
+	if cfg.Quick {
+		sets = []setCfg{{
+			ds:    data.NewSynthCustom("synth-imagenet-t1", 6, 3, 16, 16, 1024, cfg.Seed),
+			train: 120, test: 48, epochs: 4, batch: 24, width: 4,
+		}}
+		policies = []string{"WO", "MR"}
+	} else {
+		sets = []setCfg{
+			{
+				ds:    data.NewSynthCustom("synth-imagenet-t1", 10, 3, 24, 24, 2048, cfg.Seed),
+				train: 240, test: 120, epochs: 8, batch: 24, width: 6,
+			},
+			{
+				ds:    data.NewSynthCustom("synth-cifar100-t1", 20, 3, 24, 24, 2048, cfg.Seed),
+				train: 280, test: 140, epochs: 8, batch: 24, width: 6,
+			},
+		}
+		policies = []string{"MR", "mR", "SH", "HFlip", "VFlip", "MR+SH", "WO"}
+	}
+
+	res := &Result{ID: "table1"}
+	t := metrics.NewTable("Table I: test accuracy (%) when training with and without OASIS",
+		"transformation", "dataset", "accuracy_%", "final_train_loss")
+	for _, sc := range sets {
+		rng := nn.RandSource(cfg.Seed^0x7ab1e1, hashLabel(sc.ds.Name()))
+		splits, err := data.Split(sc.ds.Len(), rng, sc.train, sc.test)
+		if err != nil {
+			return nil, err
+		}
+		trainSet := data.NewSubset(sc.ds, splits[0], sc.ds.Name()+"-train")
+		testSet := data.NewSubset(sc.ds, splits[1], sc.ds.Name()+"-test")
+		for _, polName := range policies {
+			// Identical weight initialization and batch order across
+			// policies: rows differ only in the augmentation applied, which
+			// is the comparison Table I makes.
+			initRng := nn.RandSource(cfg.Seed^0x7ab1e1f, hashLabel(sc.ds.Name()))
+			c, _, _ := sc.ds.Shape()
+			net := nn.NewResNetLite(nn.ResNetLiteConfig{
+				InChannels: c, NumClasses: sc.ds.NumClasses(), Width: sc.width,
+			}, initRng)
+			trRng := nn.RandSource(cfg.Seed^0x7ab1e2f, hashLabel(sc.ds.Name()))
+			acc, loss, err := trainAndEvaluate(net, trainSet, testSet, polName, sc.epochs, sc.batch, trRng)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRowf(polName, sc.ds.Name(), acc*100, loss)
+			cfg.logf("table1 %s %s acc=%.1f%% loss=%.3f", sc.ds.Name(), polName, acc*100, loss)
+		}
+	}
+	res.Tables = append(res.Tables, t)
+	if err := res.saveCSV(cfg, "table1.csv", t); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// trainAndEvaluate runs the fixed training budget and returns test accuracy
+// and the final epoch's mean training loss.
+func trainAndEvaluate(net *nn.Sequential, trainSet, testSet data.Dataset, polName string, epochs, batchSize int, rng *rand.Rand) (float64, float64, error) {
+	pol, err := policyFor(polName)
+	if err != nil {
+		return 0, 0, err
+	}
+	optimizer := opt.NewAdam(1e-3, 1e-4) // paper: Adam, lr 1e-3, weight decay
+	loss := nn.SoftmaxCrossEntropy{}
+	lastLoss := 0.0
+	n := trainSet.Len()
+	for ep := 0; ep < epochs; ep++ {
+		perm := rng.Perm(n)
+		epochLoss, steps := 0.0, 0
+		for off := 0; off+batchSize <= n; off += batchSize {
+			batch, err := data.TakeBatch(trainSet, perm[off:off+batchSize])
+			if err != nil {
+				return 0, 0, err
+			}
+			if pol != nil {
+				batch, err = pol.Apply(batch)
+				if err != nil {
+					return 0, 0, err
+				}
+			}
+			net.ZeroGrad()
+			logits := net.Forward(batch.Tensor4D(), true)
+			l, g := loss.Compute(logits, batch.Labels)
+			net.Backward(g)
+			optimizer.Step(net.Params())
+			epochLoss += l
+			steps++
+		}
+		if steps > 0 {
+			lastLoss = epochLoss / float64(steps)
+		}
+	}
+	acc, err := evaluateAccuracy(net, testSet, batchSize)
+	return acc, lastLoss, err
+}
+
+// policyFor resolves a label into an OASIS defense (nil for WO).
+func policyFor(polName string) (*core.Defense, error) {
+	if polName == "WO" {
+		return nil, nil
+	}
+	p, err := augment.ByName(polName)
+	if err != nil {
+		return nil, err
+	}
+	return core.New(p), nil
+}
+
+// evaluateAccuracy computes mean accuracy over the full test set in
+// inference mode.
+func evaluateAccuracy(net *nn.Sequential, testSet data.Dataset, batchSize int) (float64, error) {
+	correctWeighted, total := 0.0, 0
+	for off := 0; off < testSet.Len(); off += batchSize {
+		end := min(off+batchSize, testSet.Len())
+		idx := make([]int, 0, end-off)
+		for i := off; i < end; i++ {
+			idx = append(idx, i)
+		}
+		batch, err := data.TakeBatch(testSet, idx)
+		if err != nil {
+			return 0, err
+		}
+		logits := net.Forward(batch.Tensor4D(), false)
+		correctWeighted += nn.Accuracy(logits, batch.Labels) * float64(batch.Size())
+		total += batch.Size()
+	}
+	if total == 0 {
+		return 0, fmt.Errorf("experiments: empty test set %s", testSet.Name())
+	}
+	return correctWeighted / float64(total), nil
+}

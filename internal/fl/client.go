@@ -1,0 +1,179 @@
+package fl
+
+import (
+	"context"
+	"fmt"
+	rand "math/rand/v2"
+
+	"github.com/oasisfl/oasis/internal/data"
+	"github.com/oasisfl/oasis/internal/nn"
+	"github.com/oasisfl/oasis/internal/tensor"
+)
+
+// RoundRequest is the server→client message for one FL round.
+type RoundRequest struct {
+	Round int
+	Model ModelSpec
+}
+
+// Update is the client→server payload: the local gradients of every model
+// parameter in layer order, plus bookkeeping.
+type Update struct {
+	ClientID  string
+	Round     int
+	Grads     []*tensor.Tensor
+	Loss      float64
+	BatchSize int
+}
+
+// BatchPreprocessor transforms a client's local batch before gradients are
+// computed. The OASIS defense (internal/core.Defense) implements this.
+type BatchPreprocessor interface {
+	Apply(b *data.Batch) (*data.Batch, error)
+	Name() string
+}
+
+// GradientDefense post-processes gradients before upload (DPSGD, pruning).
+// It mirrors internal/defense.GradientDefense without importing it, keeping
+// the protocol layer free of defense policy.
+type GradientDefense interface {
+	Apply(grads []*tensor.Tensor)
+	Name() string
+}
+
+// Client executes local training rounds. Implementations must be safe for
+// sequential reuse across rounds; they are not required to be goroutine-safe.
+type Client interface {
+	ID() string
+	HandleRound(ctx context.Context, req RoundRequest) (Update, error)
+}
+
+// LocalClient is the standard client: it owns a data shard, samples one
+// batch per round, optionally applies OASIS and/or a gradient defense, and
+// returns the gradients an honest participant would upload.
+//
+// Setting LocalSteps > 1 switches the client to FedAvg-style local training:
+// it runs that many SGD steps (learning rate LocalLR, fresh defended batch
+// per step) and uploads the pseudo-gradient (w₀ − w_k)/LocalLR, which the
+// server aggregates exactly like a plain gradient. The reconstruction
+// attacks still apply — the first local step's gradient dominates the
+// malicious layer's pseudo-gradient — so OASIS matters in this mode too.
+type LocalClient struct {
+	Name      string
+	Shard     data.Dataset
+	BatchSize int
+	Pre       BatchPreprocessor
+	GradDef   GradientDefense
+	Loss      nn.Loss
+	Rng       *rand.Rand
+
+	LocalSteps int     // ≤ 1 means single-gradient FedSGD (the paper's setting)
+	LocalLR    float64 // learning rate for local steps; 0 means 0.01
+}
+
+var _ Client = (*LocalClient)(nil)
+
+// NewLocalClient constructs a client over a data shard.
+func NewLocalClient(name string, shard data.Dataset, batchSize int, rng *rand.Rand) *LocalClient {
+	return &LocalClient{
+		Name:      name,
+		Shard:     shard,
+		BatchSize: batchSize,
+		Loss:      nn.SoftmaxCrossEntropy{},
+		Rng:       rng,
+	}
+}
+
+// ID returns the client identifier.
+func (c *LocalClient) ID() string { return c.Name }
+
+// HandleRound materializes the dispatched model, computes gradients (or a
+// FedAvg pseudo-gradient) on fresh local batches and returns the update.
+func (c *LocalClient) HandleRound(ctx context.Context, req RoundRequest) (Update, error) {
+	if err := ctx.Err(); err != nil {
+		return Update{}, fmt.Errorf("fl: client %s round %d: %w", c.Name, req.Round, err)
+	}
+	net, err := DecodeModel(req.Model)
+	if err != nil {
+		return Update{}, fmt.Errorf("fl: client %s: %w", c.Name, err)
+	}
+	steps := c.LocalSteps
+	if steps < 1 {
+		steps = 1
+	}
+	var initial []*tensor.Tensor
+	lr := c.LocalLR
+	if steps > 1 {
+		if lr == 0 {
+			lr = 0.01
+		}
+		initial = net.Weights()
+	}
+
+	var grads []*tensor.Tensor
+	lossSum := 0.0
+	lastBatch := 0
+	for step := 0; step < steps; step++ {
+		loss, batchSize, err := c.localStep(net, req.Model.InputKind)
+		if err != nil {
+			return Update{}, err
+		}
+		lossSum += loss
+		lastBatch = batchSize
+		if steps > 1 {
+			// Apply the local SGD step; the pseudo-gradient is formed
+			// from the cumulative weight displacement below.
+			for _, p := range net.Params() {
+				p.W.AddScaledInPlace(-lr, p.G)
+			}
+		}
+	}
+	if steps > 1 {
+		final := net.Weights()
+		grads = make([]*tensor.Tensor, len(final))
+		for i := range final {
+			grads[i] = initial[i].Sub(final[i]).ScaleInPlace(1 / lr)
+		}
+	} else {
+		grads = net.Gradients()
+	}
+	if c.GradDef != nil {
+		c.GradDef.Apply(grads)
+	}
+	return Update{
+		ClientID:  c.Name,
+		Round:     req.Round,
+		Grads:     grads,
+		Loss:      lossSum / float64(steps),
+		BatchSize: lastBatch,
+	}, nil
+}
+
+// localStep draws one defended batch and runs forward/backward, leaving the
+// gradients accumulated on the network parameters.
+func (c *LocalClient) localStep(net *nn.Sequential, inputKind string) (loss float64, batchSize int, err error) {
+	batch, err := data.RandomBatch(c.Shard, c.Rng, min(c.BatchSize, c.Shard.Len()))
+	if err != nil {
+		return 0, 0, fmt.Errorf("fl: client %s: %w", c.Name, err)
+	}
+	if c.Pre != nil {
+		batch, err = c.Pre.Apply(batch)
+		if err != nil {
+			return 0, 0, fmt.Errorf("fl: client %s defense: %w", c.Name, err)
+		}
+	}
+	var x *tensor.Tensor
+	switch inputKind {
+	case "flat":
+		x = batch.Flatten()
+	case "image", "":
+		x = batch.Tensor4D()
+	default:
+		return 0, 0, fmt.Errorf("fl: client %s: unknown input kind %q", c.Name, inputKind)
+	}
+	net.ZeroGrad()
+	logits := net.Forward(x, true)
+	loss, g := c.Loss.Compute(logits, batch.Labels)
+	net.Backward(g)
+	return loss, batch.Size(), nil
+}

@@ -1,0 +1,30 @@
+package fl
+
+import "sync"
+
+// MemoryRoster is the in-process transport: clients are direct references.
+// It backs simulations, tests and benchmarks, and is safe for concurrent
+// registration.
+type MemoryRoster struct {
+	mu      sync.Mutex
+	clients []Client
+}
+
+var _ Roster = (*MemoryRoster)(nil)
+
+// NewMemoryRoster constructs an empty roster.
+func NewMemoryRoster() *MemoryRoster { return &MemoryRoster{} }
+
+// Add registers a client.
+func (r *MemoryRoster) Add(c Client) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.clients = append(r.clients, c)
+}
+
+// Clients returns a snapshot of the registered clients.
+func (r *MemoryRoster) Clients() []Client {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Client(nil), r.clients...)
+}

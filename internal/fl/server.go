@@ -1,0 +1,215 @@
+package fl
+
+import (
+	"context"
+	"fmt"
+	"math"
+	rand "math/rand/v2"
+
+	"github.com/oasisfl/oasis/internal/nn"
+	"github.com/oasisfl/oasis/internal/tensor"
+)
+
+// ModelModifier is the dishonest-server hook: it may rewrite the dispatched
+// model arbitrarily — changing or adding parameters and layers — before it
+// reaches the clients (paper §III-A threat model). Honest servers leave it
+// nil.
+type ModelModifier interface {
+	Modify(round int, spec ModelSpec) (ModelSpec, error)
+	Name() string
+}
+
+// UpdateObserver taps every raw client update before aggregation; the
+// reconstruction attacks live behind this interface.
+type UpdateObserver interface {
+	Observe(round int, u Update)
+}
+
+// Roster abstracts how the server reaches its clients (in-memory or TCP).
+type Roster interface {
+	// Clients returns the currently connected clients.
+	Clients() []Client
+}
+
+// ServerConfig parametrizes the FL run.
+type ServerConfig struct {
+	Rounds          int
+	ClientsPerRound int     // M in the paper; 0 means all clients
+	LearningRate    float64 // η of Eq. 1
+	Seed            uint64
+	// TolerateFailures keeps a round going when individual clients error
+	// (stragglers, dropped connections): their updates are skipped and the
+	// remaining ones are averaged. A round still fails when every selected
+	// client errors.
+	TolerateFailures bool
+}
+
+// RoundStats records one round's aggregate outcome.
+type RoundStats struct {
+	Round       int
+	MeanLoss    float64
+	Clients     []string // clients whose updates were aggregated
+	Failed      []string // clients that errored (TolerateFailures mode)
+	GradNorm    float64  // L2 norm of the aggregated gradient
+	UpdateBytes int      // approximate payload size in float64 count
+}
+
+// History is the trace of a complete FL run.
+type History struct {
+	Rounds []RoundStats
+}
+
+// FinalLoss returns the last round's mean client loss (0 if no rounds ran).
+func (h History) FinalLoss() float64 {
+	if len(h.Rounds) == 0 {
+		return 0
+	}
+	return h.Rounds[len(h.Rounds)-1].MeanLoss
+}
+
+// Server coordinates FL training per §II-A.
+type Server struct {
+	Config   ServerConfig
+	Model    *nn.Sequential
+	Roster   Roster
+	Modifier ModelModifier
+	Observer UpdateObserver
+
+	rng *rand.Rand
+}
+
+// NewServer constructs a server around a global model and a client roster.
+func NewServer(cfg ServerConfig, model *nn.Sequential, roster Roster) *Server {
+	if cfg.LearningRate == 0 {
+		cfg.LearningRate = 0.1
+	}
+	if cfg.Rounds == 0 {
+		cfg.Rounds = 1
+	}
+	return &Server{
+		Config: cfg,
+		Model:  model,
+		Roster: roster,
+		rng:    nn.RandSource(cfg.Seed, 0x5eed),
+	}
+}
+
+// Run executes the configured number of rounds: sample M clients, dispatch
+// the (possibly maliciously modified) model, collect updates, average
+// gradients, and apply the FedSGD step wᵗ⁺¹ = wᵗ − η·ḡ (Eq. 1).
+func (s *Server) Run(ctx context.Context) (History, error) {
+	var hist History
+	for round := 0; round < s.Config.Rounds; round++ {
+		stats, err := s.runRound(ctx, round)
+		if err != nil {
+			return hist, err
+		}
+		hist.Rounds = append(hist.Rounds, stats)
+	}
+	return hist, nil
+}
+
+func (s *Server) runRound(ctx context.Context, round int) (RoundStats, error) {
+	clients := s.Roster.Clients()
+	if len(clients) == 0 {
+		return RoundStats{}, fmt.Errorf("fl: round %d: no clients connected", round)
+	}
+	m := s.Config.ClientsPerRound
+	if m <= 0 || m > len(clients) {
+		m = len(clients)
+	}
+	perm := s.rng.Perm(len(clients))
+	selected := make([]Client, 0, m)
+	for _, idx := range perm[:m] {
+		selected = append(selected, clients[idx])
+	}
+
+	spec, err := EncodeModel(s.Model)
+	if err != nil {
+		return RoundStats{}, fmt.Errorf("fl: round %d: %w", round, err)
+	}
+	dispatched := spec
+	if s.Modifier != nil {
+		dispatched, err = s.Modifier.Modify(round, spec)
+		if err != nil {
+			return RoundStats{}, fmt.Errorf("fl: round %d: dishonest modifier: %w", round, err)
+		}
+	}
+
+	stats := RoundStats{Round: round}
+	var sum []*tensor.Tensor
+	lossSum := 0.0
+	var firstErr error
+	for _, c := range selected {
+		update, err := c.HandleRound(ctx, RoundRequest{Round: round, Model: dispatched})
+		if err != nil {
+			if !s.Config.TolerateFailures {
+				return RoundStats{}, fmt.Errorf("fl: round %d client %s: %w", round, c.ID(), err)
+			}
+			if firstErr == nil {
+				firstErr = err
+			}
+			stats.Failed = append(stats.Failed, c.ID())
+			continue
+		}
+		if s.Observer != nil {
+			s.Observer.Observe(round, update)
+		}
+		stats.Clients = append(stats.Clients, update.ClientID)
+		lossSum += update.Loss
+		for _, g := range update.Grads {
+			stats.UpdateBytes += g.Len()
+		}
+		if sum == nil {
+			sum = make([]*tensor.Tensor, len(update.Grads))
+			for i, g := range update.Grads {
+				sum[i] = g.Clone()
+			}
+			continue
+		}
+		if len(update.Grads) != len(sum) {
+			return RoundStats{}, fmt.Errorf("fl: round %d client %s returned %d gradient tensors, want %d",
+				round, update.ClientID, len(update.Grads), len(sum))
+		}
+		for i, g := range update.Grads {
+			sum[i].AddInPlace(g)
+		}
+	}
+	ok := len(stats.Clients)
+	if ok == 0 {
+		return RoundStats{}, fmt.Errorf("fl: round %d: every selected client failed: %w", round, firstErr)
+	}
+	m = ok
+	stats.MeanLoss = lossSum / float64(m)
+
+	// When the dispatched model matches the global architecture, apply the
+	// averaged-gradient step (a dishonest server that swapped the model is
+	// only pretending to train; its "update" cannot be applied).
+	params := s.Model.Params()
+	if gradsMatchParams(params, sum) {
+		inv := 1.0 / float64(m)
+		normSq := 0.0
+		for i, p := range params {
+			g := sum[i].Scale(inv)
+			n := g.L2Norm()
+			normSq += n * n
+			p.W.AddScaledInPlace(-s.Config.LearningRate, g)
+		}
+		stats.GradNorm = math.Sqrt(normSq)
+	}
+	return stats, nil
+}
+
+// gradsMatchParams reports whether every aggregated tensor matches the
+// corresponding global parameter's shape.
+func gradsMatchParams(params []*nn.Param, sum []*tensor.Tensor) bool {
+	if len(params) != len(sum) {
+		return false
+	}
+	for i, p := range params {
+		if !p.W.SameShape(sum[i]) {
+			return false
+		}
+	}
+	return true
+}

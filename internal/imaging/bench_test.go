@@ -1,0 +1,38 @@
+package imaging
+
+import "testing"
+
+func benchImage() *Image { return randImage(1, 3, 64, 64) }
+
+func BenchmarkRotate90(b *testing.B) {
+	im := benchImage()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Rotate90(im)
+	}
+}
+
+func BenchmarkRotateBilinear45(b *testing.B) {
+	im := benchImage()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Rotate(im, 0.785398)
+	}
+}
+
+func BenchmarkShear(b *testing.B) {
+	im := benchImage()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Shear(im, 0.55)
+	}
+}
+
+func BenchmarkPSNR(b *testing.B) {
+	x := benchImage()
+	y := randImage(2, 3, 64, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = PSNR(x, y)
+	}
+}

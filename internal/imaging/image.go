@@ -1,0 +1,118 @@
+// Package imaging provides the image representation and the geometric
+// transforms of the paper's Equations 2–5 (rotation, flipping, shearing),
+// plus the PSNR reconstruction-quality metric and PNG export for the visual
+// figures.
+//
+// Images are channel-major float64 planes with values nominally in [0, 1].
+// Major rotations (90°/180°/270°) and flips are exact pixel permutations;
+// this exactness is load-bearing: the RTF attack bins samples by mean pixel
+// value, and the paper's observation that major rotation "does not change the
+// average of pixel values" only defeats the attack if the mean is preserved
+// exactly.
+package imaging
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/oasisfl/oasis/internal/tensor"
+)
+
+// Image is a C×H×W float64 raster with values nominally in [0, 1].
+type Image struct {
+	C, H, W int
+	Pix     []float64 // len C*H*W, channel-major row-major
+}
+
+// NewImage returns a black image of the given dimensions.
+func NewImage(c, h, w int) *Image {
+	if c <= 0 || h <= 0 || w <= 0 {
+		panic(fmt.Sprintf("imaging: invalid dimensions %dx%dx%d", c, h, w))
+	}
+	return &Image{C: c, H: h, W: w, Pix: make([]float64, c*h*w)}
+}
+
+// FromVector wraps a flat pixel vector (C*H*W) as an image, copying it.
+func FromVector(v []float64, c, h, w int) (*Image, error) {
+	if len(v) != c*h*w {
+		return nil, fmt.Errorf("imaging: vector length %d != %d×%d×%d", len(v), c, h, w)
+	}
+	img := NewImage(c, h, w)
+	copy(img.Pix, v)
+	return img, nil
+}
+
+// Clone returns a deep copy.
+func (im *Image) Clone() *Image {
+	c := NewImage(im.C, im.H, im.W)
+	copy(c.Pix, im.Pix)
+	return c
+}
+
+// At returns the pixel value at channel c, row y, column x.
+func (im *Image) At(c, y, x int) float64 { return im.Pix[(c*im.H+y)*im.W+x] }
+
+// Set assigns the pixel value at channel c, row y, column x.
+func (im *Image) Set(c, y, x int, v float64) { im.Pix[(c*im.H+y)*im.W+x] = v }
+
+// Vector returns the image as a flat tensor of length C*H*W (a copy).
+func (im *Image) Vector() *tensor.Tensor {
+	return tensor.MustFromSlice(append([]float64(nil), im.Pix...), im.C*im.H*im.W)
+}
+
+// Mean returns the mean pixel value over all channels.
+func (im *Image) Mean() float64 {
+	s := 0.0
+	for _, v := range im.Pix {
+		s += v
+	}
+	return s / float64(len(im.Pix))
+}
+
+// Clamp limits every pixel to [0, 1] in place and returns the image.
+func (im *Image) Clamp() *Image {
+	for i, v := range im.Pix {
+		im.Pix[i] = math.Max(0, math.Min(1, v))
+	}
+	return im
+}
+
+// SameDims reports whether the two images have identical dimensions.
+func (im *Image) SameDims(o *Image) bool {
+	return im.C == o.C && im.H == o.H && im.W == o.W
+}
+
+// Lerp returns (1−t)·im + t·o; both images must have identical dimensions.
+func Lerp(a, b *Image, t float64) *Image {
+	if !a.SameDims(b) {
+		panic("imaging: Lerp dimension mismatch")
+	}
+	out := NewImage(a.C, a.H, a.W)
+	for i := range out.Pix {
+		out.Pix[i] = (1-t)*a.Pix[i] + t*b.Pix[i]
+	}
+	return out
+}
+
+// Blend returns the unweighted average of the given images, which is exactly
+// what gradient inversion reconstructs when several samples share a neuron
+// (paper §III-A); used in tests and the Figure 2 illustration.
+func Blend(imgs ...*Image) *Image {
+	if len(imgs) == 0 {
+		panic("imaging: Blend of zero images")
+	}
+	out := NewImage(imgs[0].C, imgs[0].H, imgs[0].W)
+	for _, im := range imgs {
+		if !im.SameDims(out) {
+			panic("imaging: Blend dimension mismatch")
+		}
+		for i, v := range im.Pix {
+			out.Pix[i] += v
+		}
+	}
+	inv := 1.0 / float64(len(imgs))
+	for i := range out.Pix {
+		out.Pix[i] *= inv
+	}
+	return out
+}

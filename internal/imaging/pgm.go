@@ -1,0 +1,52 @@
+package imaging
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WritePGM encodes the image as a binary PGM (P5) grayscale file —
+// convenient for quick terminal-side inspection with tooling that predates
+// PNG. Multi-channel images are converted with the Rec. 601 luma weights.
+func (im *Image) WritePGM(path string) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("imaging: %w", err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("imaging: %w", err)
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	fmt.Fprintf(w, "P5\n%d %d\n255\n", im.W, im.H)
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			if err := w.WriteByte(lumaByte(im, y, x)); err != nil {
+				return fmt.Errorf("imaging: %w", err)
+			}
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return fmt.Errorf("imaging: %w", err)
+	}
+	return f.Close()
+}
+
+// lumaByte converts the pixel at (y, x) to an 8-bit gray value.
+func lumaByte(im *Image, y, x int) byte {
+	var v float64
+	if im.C >= 3 {
+		v = 0.299*im.At(0, y, x) + 0.587*im.At(1, y, x) + 0.114*im.At(2, y, x)
+	} else {
+		v = im.At(0, y, x)
+	}
+	if v <= 0 {
+		return 0
+	}
+	if v >= 1 {
+		return 255
+	}
+	return byte(v*255 + 0.5)
+}

@@ -1,0 +1,57 @@
+package imaging
+
+import (
+	"math"
+)
+
+// PSNRCap is the reporting ceiling in dB for (near-)perfect reconstructions.
+// PSNR diverges as MSE → 0; the paper's "perfect reconstruction" values top
+// out around 148 dB, so we floor the MSE at 1e-15, capping PSNR at 150 dB.
+const PSNRCap = 150.0
+
+// mseFloor corresponds to the 150 dB cap with a unit dynamic range.
+const mseFloor = 1e-15
+
+// MSE returns the mean squared error between two images of identical
+// dimensions.
+func MSE(a, b *Image) float64 {
+	if !a.SameDims(b) {
+		panic("imaging: MSE dimension mismatch")
+	}
+	s := 0.0
+	for i := range a.Pix {
+		d := a.Pix[i] - b.Pix[i]
+		s += d * d
+	}
+	return s / float64(len(a.Pix))
+}
+
+// PSNR returns the peak signal-to-noise ratio in dB between a reconstruction
+// and a reference, with dynamic range 1.0 (images live in [0,1]) and the MSE
+// floored so the result never exceeds PSNRCap. Higher PSNR means better
+// reconstruction, i.e. a more successful attack.
+func PSNR(recon, ref *Image) float64 {
+	mse := MSE(recon, ref)
+	if mse <= mseFloor {
+		return PSNRCap
+	}
+	return 10 * math.Log10(1.0/mse)
+}
+
+// BestMatch returns the index of the reference image with the highest PSNR
+// against recon, along with that PSNR. Gradient inversion recovers images in
+// arbitrary order, so attack evaluation matches each reconstruction to its
+// closest original, as in the paper's evaluation protocol.
+func BestMatch(recon *Image, refs []*Image) (int, float64) {
+	bestIdx, bestPSNR := -1, math.Inf(-1)
+	for i, ref := range refs {
+		if !recon.SameDims(ref) {
+			continue
+		}
+		p := PSNR(recon, ref)
+		if p > bestPSNR {
+			bestIdx, bestPSNR = i, p
+		}
+	}
+	return bestIdx, bestPSNR
+}

@@ -1,0 +1,149 @@
+package imaging
+
+import (
+	"math"
+	rand "math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestPSNRIdenticalHitsCap(t *testing.T) {
+	im := randImage(1, 3, 8, 8)
+	if got := PSNR(im, im.Clone()); got != PSNRCap {
+		t.Errorf("PSNR(identical) = %g, want cap %g", got, PSNRCap)
+	}
+}
+
+func TestPSNRKnownValue(t *testing.T) {
+	a := NewImage(1, 2, 2)
+	b := NewImage(1, 2, 2)
+	for i := range b.Pix {
+		b.Pix[i] = 0.1 // uniform error of 0.1 ⇒ MSE = 0.01 ⇒ PSNR = 20 dB
+	}
+	if got := PSNR(a, b); math.Abs(got-20) > 1e-9 {
+		t.Errorf("PSNR = %g, want 20", got)
+	}
+}
+
+func TestPSNRSymmetric(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		a := randImage(seed, 3, 6, 6)
+		b := randImage(seed+1, 3, 6, 6)
+		return PSNR(a, b) == PSNR(b, a)
+	}, &quick.Config{MaxCount: 20})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPSNRMonotoneInNoise(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 4))
+	ref := randImage(3, 3, 8, 8)
+	prev := math.Inf(1)
+	for _, std := range []float64{0.01, 0.05, 0.2} {
+		noisy := ref.Clone()
+		for i := range noisy.Pix {
+			noisy.Pix[i] += rng.NormFloat64() * std
+		}
+		p := PSNR(noisy, ref)
+		if p >= prev {
+			t.Errorf("PSNR did not decrease with noise: %g then %g", prev, p)
+		}
+		prev = p
+	}
+}
+
+func TestMSEDimensionMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MSE across dimensions did not panic")
+		}
+	}()
+	MSE(NewImage(1, 2, 2), NewImage(1, 3, 3))
+}
+
+func TestBestMatchFindsClosest(t *testing.T) {
+	refs := []*Image{randImage(10, 3, 6, 6), randImage(11, 3, 6, 6), randImage(12, 3, 6, 6)}
+	probe := refs[1].Clone()
+	probe.Pix[0] += 0.001
+	idx, p := BestMatch(probe, refs)
+	if idx != 1 {
+		t.Errorf("BestMatch index = %d, want 1", idx)
+	}
+	if p < 50 {
+		t.Errorf("BestMatch PSNR = %g, suspiciously low", p)
+	}
+}
+
+func TestBestMatchSkipsMismatchedDims(t *testing.T) {
+	refs := []*Image{NewImage(1, 4, 4), NewImage(3, 6, 6)}
+	probe := NewImage(3, 6, 6)
+	idx, _ := BestMatch(probe, refs)
+	if idx != 1 {
+		t.Errorf("BestMatch index = %d, want 1 (dims filter)", idx)
+	}
+	if idx, _ := BestMatch(NewImage(2, 2, 2), refs); idx != -1 {
+		t.Errorf("BestMatch with no candidates = %d, want -1", idx)
+	}
+}
+
+func TestBlendIsAverage(t *testing.T) {
+	a := NewImage(1, 1, 2)
+	a.Pix[0], a.Pix[1] = 0.2, 0.4
+	b := NewImage(1, 1, 2)
+	b.Pix[0], b.Pix[1] = 0.6, 0.8
+	m := Blend(a, b)
+	if math.Abs(m.Pix[0]-0.4) > 1e-12 || math.Abs(m.Pix[1]-0.6) > 1e-12 {
+		t.Errorf("Blend = %v", m.Pix)
+	}
+}
+
+func TestLerpEndpoints(t *testing.T) {
+	a := randImage(20, 3, 4, 4)
+	b := randImage(21, 3, 4, 4)
+	if !imagesEqual(Lerp(a, b, 0), a) {
+		t.Error("Lerp(0) != a")
+	}
+	if !imagesEqual(Lerp(a, b, 1), b) {
+		t.Error("Lerp(1) != b")
+	}
+}
+
+// TestBlendPSNRMatchesAttackIntuition codifies the paper's Figure 2: a blend
+// of an image with unrelated content has drastically lower PSNR than a
+// verbatim copy.
+func TestBlendPSNRMatchesAttackIntuition(t *testing.T) {
+	orig := randImage(30, 3, 16, 16)
+	other := randImage(31, 3, 16, 16)
+	blend := Blend(orig, other)
+	if p := PSNR(blend, orig); p > 30 {
+		t.Errorf("blend PSNR = %g dB, expected unrecognizable (< 30)", p)
+	}
+	if p := PSNR(orig.Clone(), orig); p != PSNRCap {
+		t.Errorf("verbatim PSNR = %g, want cap", p)
+	}
+}
+
+func TestImageVectorRoundTrip(t *testing.T) {
+	im := randImage(40, 3, 4, 5)
+	v := im.Vector()
+	back, err := FromVector(v.Data(), 3, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !imagesEqual(im, back) {
+		t.Error("Vector/FromVector round trip failed")
+	}
+	if _, err := FromVector([]float64{1, 2}, 1, 2, 2); err == nil {
+		t.Error("FromVector length mismatch did not error")
+	}
+}
+
+func TestClampBounds(t *testing.T) {
+	im := NewImage(1, 1, 3)
+	im.Pix[0], im.Pix[1], im.Pix[2] = -0.5, 0.5, 1.5
+	im.Clamp()
+	if im.Pix[0] != 0 || im.Pix[1] != 0.5 || im.Pix[2] != 1 {
+		t.Errorf("Clamp = %v", im.Pix)
+	}
+}

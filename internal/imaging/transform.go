@@ -1,0 +1,148 @@
+package imaging
+
+import (
+	"fmt"
+	"math"
+)
+
+// Rotate90, Rotate180 and Rotate270 are the paper's "major rotation" angles.
+// They are implemented as exact pixel permutations so that scalar statistics
+// (in particular the mean pixel value that the RTF attack measures) are
+// preserved to the last bit. Rotations require square images, which all
+// datasets in this repository use.
+
+// Rotate90 returns the image rotated 90° counter-clockwise.
+func Rotate90(im *Image) *Image {
+	mustSquare(im, "Rotate90")
+	n := im.H
+	out := NewImage(im.C, n, n)
+	for c := 0; c < im.C; c++ {
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				out.Set(c, n-1-x, y, im.At(c, y, x))
+			}
+		}
+	}
+	return out
+}
+
+// Rotate180 returns the image rotated 180°.
+func Rotate180(im *Image) *Image {
+	out := NewImage(im.C, im.H, im.W)
+	for c := 0; c < im.C; c++ {
+		for y := 0; y < im.H; y++ {
+			for x := 0; x < im.W; x++ {
+				out.Set(c, im.H-1-y, im.W-1-x, im.At(c, y, x))
+			}
+		}
+	}
+	return out
+}
+
+// Rotate270 returns the image rotated 270° counter-clockwise.
+func Rotate270(im *Image) *Image {
+	mustSquare(im, "Rotate270")
+	n := im.H
+	out := NewImage(im.C, n, n)
+	for c := 0; c < im.C; c++ {
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				out.Set(c, x, n-1-y, im.At(c, y, x))
+			}
+		}
+	}
+	return out
+}
+
+// FlipH returns the horizontal mirror (reflection across the vertical axis),
+// Eq. 3 of the paper.
+func FlipH(im *Image) *Image {
+	out := NewImage(im.C, im.H, im.W)
+	for c := 0; c < im.C; c++ {
+		for y := 0; y < im.H; y++ {
+			for x := 0; x < im.W; x++ {
+				out.Set(c, y, im.W-1-x, im.At(c, y, x))
+			}
+		}
+	}
+	return out
+}
+
+// FlipV returns the vertical mirror (reflection across the horizontal axis),
+// Eq. 4 of the paper.
+func FlipV(im *Image) *Image {
+	out := NewImage(im.C, im.H, im.W)
+	for c := 0; c < im.C; c++ {
+		for y := 0; y < im.H; y++ {
+			for x := 0; x < im.W; x++ {
+				out.Set(c, im.H-1-y, x, im.At(c, y, x))
+			}
+		}
+	}
+	return out
+}
+
+// Rotate returns the image rotated by theta radians counter-clockwise about
+// its center (Eq. 2 of the paper) using inverse mapping with bilinear
+// sampling and zero fill, matching torchvision's default behaviour for
+// arbitrary ("minor") angles.
+func Rotate(im *Image, theta float64) *Image {
+	cos, sin := math.Cos(theta), math.Sin(theta)
+	cy, cx := float64(im.H-1)/2, float64(im.W-1)/2
+	out := NewImage(im.C, im.H, im.W)
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			// Inverse rotation of the destination coordinate.
+			dy, dx := float64(y)-cy, float64(x)-cx
+			sy := cy + (dx*sin + dy*cos)
+			sx := cx + (dx*cos - dy*sin)
+			for c := 0; c < im.C; c++ {
+				out.Set(c, y, x, bilinear(im, c, sy, sx))
+			}
+		}
+	}
+	return out
+}
+
+// Shear returns the image sheared along x by factor mu (Eq. 5 of the paper:
+// I'(i,j) = I(i + mu*j, j)), centered, with bilinear sampling and zero fill.
+func Shear(im *Image, mu float64) *Image {
+	cy := float64(im.H-1) / 2
+	out := NewImage(im.C, im.H, im.W)
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			sy := float64(y)
+			sx := float64(x) + mu*(float64(y)-cy) // shift columns by row offset
+			for c := 0; c < im.C; c++ {
+				out.Set(c, y, x, bilinear(im, c, sy, sx))
+			}
+		}
+	}
+	return out
+}
+
+// bilinear samples channel c of im at fractional coordinates (y, x) with
+// zero fill outside the raster.
+func bilinear(im *Image, c int, y, x float64) float64 {
+	y0 := int(math.Floor(y))
+	x0 := int(math.Floor(x))
+	fy := y - float64(y0)
+	fx := x - float64(x0)
+	get := func(yy, xx int) float64 {
+		if yy < 0 || yy >= im.H || xx < 0 || xx >= im.W {
+			return 0
+		}
+		return im.At(c, yy, xx)
+	}
+	v00 := get(y0, x0)
+	v01 := get(y0, x0+1)
+	v10 := get(y0+1, x0)
+	v11 := get(y0+1, x0+1)
+	return v00*(1-fy)*(1-fx) + v01*(1-fy)*fx + v10*fy*(1-fx) + v11*fy*fx
+}
+
+func mustSquare(im *Image, op string) {
+	if im.H != im.W {
+		panic(fmt.Sprintf("imaging: %s requires a square image, got %dx%d", op, im.H, im.W))
+	}
+}

@@ -1,0 +1,200 @@
+package imaging
+
+import (
+	"math"
+	rand "math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func randImage(seed uint64, c, h, w int) *Image {
+	rng := rand.New(rand.NewPCG(seed, 99))
+	im := NewImage(c, h, w)
+	for i := range im.Pix {
+		im.Pix[i] = rng.Float64()
+	}
+	return im
+}
+
+func imagesEqual(a, b *Image) bool {
+	if !a.SameDims(b) {
+		return false
+	}
+	for i := range a.Pix {
+		if a.Pix[i] != b.Pix[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRotate90FourTimesIsIdentity(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		n := 2 + int(seed%9)
+		im := randImage(seed, 3, n, n)
+		out := Rotate90(Rotate90(Rotate90(Rotate90(im))))
+		return imagesEqual(im, out)
+	}, &quick.Config{MaxCount: 20})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRotate180IsRotate90Twice(t *testing.T) {
+	im := randImage(1, 3, 8, 8)
+	if !imagesEqual(Rotate180(im), Rotate90(Rotate90(im))) {
+		t.Error("Rotate180 != Rotate90∘Rotate90")
+	}
+}
+
+func TestRotate270IsInverseOfRotate90(t *testing.T) {
+	im := randImage(2, 1, 7, 7)
+	if !imagesEqual(Rotate270(Rotate90(im)), im) {
+		t.Error("Rotate270∘Rotate90 != identity")
+	}
+}
+
+// TestMajorRotationsPreserveMean is the load-bearing property behind the
+// paper's §IV-B claim: RTF bins samples by mean brightness, and major
+// rotation "does not change the average of pixel values". The permutations
+// preserve the pixel multiset, so the mean matches up to float64 summation
+// reordering (~1e-15) — ten orders of magnitude below RTF's bin widths.
+func TestMajorRotationsPreserveMean(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		n := 2 + int(seed%16)
+		im := randImage(seed, 3, n, n)
+		m := im.Mean()
+		const tol = 1e-12
+		close := func(v float64) bool { return math.Abs(v-m) <= tol }
+		return close(Rotate90(im).Mean()) &&
+			close(Rotate180(im).Mean()) &&
+			close(Rotate270(im).Mean()) &&
+			close(FlipH(im).Mean()) &&
+			close(FlipV(im).Mean())
+	}, &quick.Config{MaxCount: 30})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFlipsAreInvolutions(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		h, w := 2+int(seed%7), 2+int((seed>>3)%9)
+		im := randImage(seed, 3, h, w)
+		return imagesEqual(FlipH(FlipH(im)), im) && imagesEqual(FlipV(FlipV(im)), im)
+	}, &quick.Config{MaxCount: 20})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFlipHMirrorsColumns(t *testing.T) {
+	im := NewImage(1, 1, 3)
+	im.Set(0, 0, 0, 0.1)
+	im.Set(0, 0, 1, 0.5)
+	im.Set(0, 0, 2, 0.9)
+	f := FlipH(im)
+	if f.At(0, 0, 0) != 0.9 || f.At(0, 0, 2) != 0.1 || f.At(0, 0, 1) != 0.5 {
+		t.Errorf("FlipH wrong: %v", f.Pix)
+	}
+}
+
+func TestFlipVMirrorsRows(t *testing.T) {
+	im := NewImage(1, 3, 1)
+	im.Set(0, 0, 0, 0.1)
+	im.Set(0, 1, 0, 0.5)
+	im.Set(0, 2, 0, 0.9)
+	f := FlipV(im)
+	if f.At(0, 0, 0) != 0.9 || f.At(0, 2, 0) != 0.1 {
+		t.Errorf("FlipV wrong: %v", f.Pix)
+	}
+}
+
+func TestRotateZeroIsIdentity(t *testing.T) {
+	im := randImage(5, 3, 9, 9)
+	out := Rotate(im, 0)
+	for i := range im.Pix {
+		if math.Abs(im.Pix[i]-out.Pix[i]) > 1e-12 {
+			t.Fatal("Rotate(0) altered the image")
+		}
+	}
+}
+
+func TestRotateBilinear90MatchesExactInterior(t *testing.T) {
+	// A continuous 90° rotation should agree with the exact permutation
+	// (bilinear weights collapse to a single pixel at integer coords).
+	im := randImage(6, 1, 9, 9)
+	cont := Rotate(im, math.Pi/2)
+	exact := Rotate90(im)
+	for y := 1; y < 8; y++ {
+		for x := 1; x < 8; x++ {
+			if math.Abs(cont.At(0, y, x)-exact.At(0, y, x)) > 1e-9 {
+				t.Fatalf("90° continuous rotation differs from exact at (%d,%d)", y, x)
+			}
+		}
+	}
+}
+
+func TestRotateMinorKeepsCenterPixel(t *testing.T) {
+	im := randImage(7, 1, 9, 9)
+	out := Rotate(im, 0.7)
+	if math.Abs(out.At(0, 4, 4)-im.At(0, 4, 4)) > 1e-9 {
+		t.Error("rotation about center moved the center pixel")
+	}
+}
+
+func TestShearZeroIsIdentity(t *testing.T) {
+	im := randImage(8, 3, 6, 6)
+	out := Shear(im, 0)
+	for i := range im.Pix {
+		if math.Abs(im.Pix[i]-out.Pix[i]) > 1e-12 {
+			t.Fatal("Shear(0) altered the image")
+		}
+	}
+}
+
+func TestShearShiftsRowsOppositeDirections(t *testing.T) {
+	// A centered shear moves top rows one way and bottom rows the other.
+	im := NewImage(1, 5, 5)
+	// single bright column in the middle
+	for y := 0; y < 5; y++ {
+		im.Set(0, y, 2, 1)
+	}
+	out := Shear(im, 1.0)
+	// Center row keeps its bright pixel at x=2.
+	if out.At(0, 2, 2) < 0.9 {
+		t.Error("center row moved under centered shear")
+	}
+	// Top row sources from x = 2 + mu·(0−2) = 0 → bright pixel appears at x=4.
+	if out.At(0, 0, 4) < 0.9 {
+		t.Errorf("top row not sheared as expected: %v", out.Pix[:5])
+	}
+	// Bottom row sources from x = 2 + mu·(4−2) = 4 → bright pixel at x=0.
+	if out.At(0, 4, 0) < 0.9 {
+		t.Errorf("bottom row not sheared as expected")
+	}
+}
+
+func TestRotationRequiresSquare(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Rotate90 on non-square image did not panic")
+		}
+	}()
+	Rotate90(NewImage(1, 2, 3))
+}
+
+func TestTransformsDoNotMutateInput(t *testing.T) {
+	im := randImage(11, 3, 8, 8)
+	orig := im.Clone()
+	Rotate90(im)
+	Rotate180(im)
+	Rotate270(im)
+	FlipH(im)
+	FlipV(im)
+	Rotate(im, 0.5)
+	Shear(im, 0.7)
+	if !imagesEqual(im, orig) {
+		t.Error("a transform mutated its input")
+	}
+}

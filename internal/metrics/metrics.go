@@ -1,0 +1,185 @@
+// Package metrics provides the summary statistics the experiment harness
+// reports: means, standard deviations and the five-number summaries behind
+// the paper's box plots (Figures 5, 6 and 13).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary is a five-number summary plus mean — the contents of one box in
+// the paper's box plots (the green triangle is the mean).
+type Summary struct {
+	N      int
+	Min    float64
+	Q1     float64
+	Median float64
+	Q3     float64
+	Max    float64
+	Mean   float64
+	Std    float64
+}
+
+// Summarize computes the summary of values; it returns a zero Summary for an
+// empty input.
+func Summarize(values []float64) Summary {
+	if len(values) == 0 {
+		return Summary{}
+	}
+	s := append([]float64(nil), values...)
+	sort.Float64s(s)
+	mean := 0.0
+	for _, v := range s {
+		mean += v
+	}
+	mean /= float64(len(s))
+	varr := 0.0
+	for _, v := range s {
+		d := v - mean
+		varr += d * d
+	}
+	std := 0.0
+	if len(s) > 1 {
+		std = math.Sqrt(varr / float64(len(s)-1))
+	}
+	return Summary{
+		N:      len(s),
+		Min:    s[0],
+		Q1:     Quantile(s, 0.25),
+		Median: Quantile(s, 0.5),
+		Q3:     Quantile(s, 0.75),
+		Max:    s[len(s)-1],
+		Mean:   mean,
+		Std:    std,
+	}
+}
+
+// Quantile returns the q-quantile of an ascending-sorted slice with linear
+// interpolation.
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// String renders the summary in one compact row.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d min=%.2f q1=%.2f med=%.2f q3=%.2f max=%.2f mean=%.2f±%.2f",
+		s.N, s.Min, s.Q1, s.Median, s.Q3, s.Max, s.Mean, s.Std)
+}
+
+// Mean returns the arithmetic mean of values (0 for empty input).
+func Mean(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range values {
+		s += v
+	}
+	return s / float64(len(values))
+}
+
+// Table is a simple fixed-column text table for experiment output, printed
+// in the same row/series layout as the paper's artifacts.
+type Table struct {
+	Title   string
+	Header  []string
+	Rows    [][]string
+	colWide []int
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, header ...string) *Table {
+	t := &Table{Title: title, Header: header, colWide: make([]int, len(header))}
+	for i, h := range header {
+		t.colWide[i] = len(h)
+	}
+	return t
+}
+
+// AddRow appends a row, padding or truncating to the header width.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Header))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+		if len(row[i]) > t.colWide[i] {
+			t.colWide[i] = len(row[i])
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// AddRowf appends a row of formatted cells: each argument is rendered with
+// %v for strings and %.2f for floats.
+func (t *Table) AddRowf(cells ...any) {
+	row := make([]string, 0, len(cells))
+	for _, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row = append(row, fmt.Sprintf("%.2f", v))
+		default:
+			row = append(row, fmt.Sprint(v))
+		}
+	}
+	t.AddRow(row...)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", t.colWide[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", t.colWide[i])
+	}
+	writeRow(sep)
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (quoting is unnecessary
+// for the numeric content this repository produces).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Header, ","))
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		b.WriteString(strings.Join(r, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

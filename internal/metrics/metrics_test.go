@@ -1,0 +1,123 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeKnownValues(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.Median != 3 || s.Mean != 3 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.Q1 != 2 || s.Q3 != 4 {
+		t.Errorf("quartiles = %g, %g", s.Q1, s.Q3)
+	}
+	if math.Abs(s.Std-math.Sqrt(2.5)) > 1e-12 {
+		t.Errorf("std = %g", s.Std)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 {
+		t.Errorf("empty summary N = %d", s.N)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.Min != 7 || s.Max != 7 || s.Mean != 7 || s.Std != 0 {
+		t.Errorf("single summary = %+v", s)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Summarize(in)
+	if in[0] != 3 || in[1] != 1 {
+		t.Error("Summarize sorted the caller's slice")
+	}
+}
+
+func TestSummaryBoundsProperty(t *testing.T) {
+	err := quick.Check(func(vals []float64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		for _, v := range vals {
+			// Skip pathological magnitudes whose sum overflows float64;
+			// PSNR/accuracy data lives far below this.
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e300 {
+				return true
+			}
+		}
+		s := Summarize(vals)
+		return s.Min <= s.Q1 && s.Q1 <= s.Median && s.Median <= s.Q3 && s.Q3 <= s.Max &&
+			s.Min <= s.Mean && s.Mean <= s.Max
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	sorted := []float64{0, 10}
+	if q := Quantile(sorted, 0.5); q != 5 {
+		t.Errorf("median of {0,10} = %g", q)
+	}
+	if q := Quantile(sorted, 0); q != 0 {
+		t.Errorf("q0 = %g", q)
+	}
+	if q := Quantile(sorted, 1); q != 10 {
+		t.Errorf("q1 = %g", q)
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("quantile of empty slice is not NaN")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil)")
+	}
+	if Mean([]float64{2, 4}) != 3 {
+		t.Error("Mean({2,4})")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("demo", "name", "value")
+	tb.AddRow("alpha", "1")
+	tb.AddRowf("beta", 2.5)
+	out := tb.String()
+	if !strings.Contains(out, "== demo ==") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "2.50") {
+		t.Errorf("missing cells:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Errorf("%d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("demo", "a", "b")
+	tb.AddRow("1", "2")
+	csv := tb.CSV()
+	if csv != "a,b\n1,2\n" {
+		t.Errorf("CSV = %q", csv)
+	}
+}
+
+func TestTableShortRowPadded(t *testing.T) {
+	tb := NewTable("", "a", "b", "c")
+	tb.AddRow("only")
+	if len(tb.Rows[0]) != 3 {
+		t.Errorf("row not padded: %v", tb.Rows[0])
+	}
+}

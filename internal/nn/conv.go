@@ -1,0 +1,124 @@
+package nn
+
+import (
+	"fmt"
+	rand "math/rand/v2"
+
+	"github.com/oasisfl/oasis/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution over [B, C, H, W] activations implemented by
+// im2col lowering. Weight shape is [outC, inC, KH, KW]; bias is [outC].
+type Conv2D struct {
+	InC, OutC, K, Stride, Pad int
+	Weight                    *Param
+	Bias                      *Param
+
+	lastCols   *tensor.Tensor
+	lastInDims [4]int
+	lastOut    [2]int
+	name       string
+}
+
+var _ Layer = (*Conv2D)(nil)
+
+// NewConv2D constructs a square-kernel convolution with He initialization.
+func NewConv2D(name string, inC, outC, k, stride, pad int, rng *rand.Rand) *Conv2D {
+	w := tensor.New(outC, inC, k, k)
+	w.FillRandn(rng, heStd(inC*k*k))
+	return &Conv2D{
+		InC: inC, OutC: outC, K: k, Stride: stride, Pad: pad,
+		Weight: &Param{Name: name + ".weight", W: w, G: tensor.New(outC, inC, k, k)},
+		Bias:   &Param{Name: name + ".bias", W: tensor.New(outC), G: tensor.New(outC)},
+		name:   name,
+	}
+}
+
+// Forward computes the convolution via im2col + matmul.
+func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Dims() != 4 || x.Dim(1) != c.InC {
+		panic(fmt.Sprintf("nn: %s expects [B,%d,H,W], got %v", c.name, c.InC, x.Shape()))
+	}
+	b, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
+	cols, oh, ow := tensor.Im2Col(x, c.K, c.K, c.Stride, c.Pad) // [B*OH*OW, inC*K*K]
+	wmat := c.Weight.W.MustReshape(c.OutC, c.InC*c.K*c.K)
+	prod := tensor.MatMulTransB(cols, wmat) // [B*OH*OW, outC]
+	if train {
+		c.lastCols = cols
+		c.lastInDims = [4]int{b, c.InC, h, w}
+		c.lastOut = [2]int{oh, ow}
+	}
+	// Rearrange [B*OH*OW, outC] → [B, outC, OH, OW] and add bias.
+	out := tensor.New(b, c.OutC, oh, ow)
+	bias := c.Bias.W.Data()
+	pd := prod.Data()
+	od := out.Data()
+	for bi := 0; bi < b; bi++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				row := pd[((bi*oh+oy)*ow+ox)*c.OutC:]
+				for oc := 0; oc < c.OutC; oc++ {
+					od[((bi*c.OutC+oc)*oh+oy)*ow+ox] = row[oc] + bias[oc]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward accumulates weight/bias gradients and returns the input gradient.
+func (c *Conv2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if c.lastCols == nil {
+		panic(fmt.Sprintf("nn: %s Backward before Forward(train)", c.name))
+	}
+	b, h, w := c.lastInDims[0], c.lastInDims[2], c.lastInDims[3]
+	oh, ow := c.lastOut[0], c.lastOut[1]
+	if gradOut.Dims() != 4 || gradOut.Dim(0) != b || gradOut.Dim(1) != c.OutC || gradOut.Dim(2) != oh || gradOut.Dim(3) != ow {
+		panic(fmt.Sprintf("nn: %s Backward shape %v, want [%d,%d,%d,%d]", c.name, gradOut.Shape(), b, c.OutC, oh, ow))
+	}
+	// Rearrange gradOut [B,outC,OH,OW] → gRows [B*OH*OW, outC].
+	gRows := tensor.New(b*oh*ow, c.OutC)
+	gd := gradOut.Data()
+	gr := gRows.Data()
+	for bi := 0; bi < b; bi++ {
+		for oc := 0; oc < c.OutC; oc++ {
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					gr[((bi*oh+oy)*ow+ox)*c.OutC+oc] = gd[((bi*c.OutC+oc)*oh+oy)*ow+ox]
+				}
+			}
+		}
+	}
+	// ∂L/∂W = gRowsᵀ · cols  → [outC, inC*K*K]
+	gw := tensor.MatMulTransA(gRows, c.lastCols)
+	c.Weight.G.AddInPlace(gw.MustReshape(c.OutC, c.InC, c.K, c.K))
+	// ∂L/∂b = column sums of gRows
+	gb := c.Bias.G.Data()
+	for r := 0; r < gRows.Dim(0); r++ {
+		row := gRows.RowView(r)
+		for oc := range row {
+			gb[oc] += row[oc]
+		}
+	}
+	// ∂L/∂cols = gRows · Wmat → scatter back with Col2Im.
+	wmat := c.Weight.W.MustReshape(c.OutC, c.InC*c.K*c.K)
+	gCols := tensor.MatMul(gRows, wmat)
+	return tensor.Col2Im(gCols, b, c.InC, h, w, c.K, c.K, c.Stride, c.Pad)
+}
+
+// Params returns weight and bias.
+func (c *Conv2D) Params() []*Param { return []*Param{c.Weight, c.Bias} }
+
+// Clone returns a deep copy with zeroed gradients.
+func (c *Conv2D) Clone() Layer {
+	cp := &Conv2D{
+		InC: c.InC, OutC: c.OutC, K: c.K, Stride: c.Stride, Pad: c.Pad,
+		Weight: &Param{Name: c.Weight.Name, W: c.Weight.W.Clone(), G: tensor.New(c.Weight.W.Shape()...)},
+		Bias:   &Param{Name: c.Bias.Name, W: c.Bias.W.Clone(), G: tensor.New(c.Bias.W.Shape()...)},
+		name:   c.name,
+	}
+	return cp
+}
+
+// Name returns the layer name.
+func (c *Conv2D) Name() string { return c.name }

@@ -1,0 +1,145 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/oasisfl/oasis/internal/tensor"
+)
+
+// Loss maps network outputs and integer labels to a scalar loss and the
+// gradient of that loss with respect to the outputs.
+type Loss interface {
+	// Compute returns the mean loss over the batch and ∂loss/∂logits.
+	Compute(logits *tensor.Tensor, labels []int) (float64, *tensor.Tensor)
+	Name() string
+}
+
+// SoftmaxCrossEntropy is the standard multi-class classification loss
+// averaged over the batch. This is the loss the FL clients in the paper
+// minimize, and whose gradients the dishonest server inverts.
+type SoftmaxCrossEntropy struct{}
+
+var _ Loss = SoftmaxCrossEntropy{}
+
+// Compute returns mean cross-entropy and its gradient (softmax − onehot)/B.
+func (SoftmaxCrossEntropy) Compute(logits *tensor.Tensor, labels []int) (float64, *tensor.Tensor) {
+	if logits.Dims() != 2 {
+		panic(fmt.Sprintf("nn: cross-entropy expects [B,K] logits, got %v", logits.Shape()))
+	}
+	b, k := logits.Dim(0), logits.Dim(1)
+	if len(labels) != b {
+		panic(fmt.Sprintf("nn: cross-entropy got %d labels for batch %d", len(labels), b))
+	}
+	grad := tensor.New(b, k)
+	loss := 0.0
+	for i := 0; i < b; i++ {
+		row := logits.RowView(i)
+		g := grad.RowView(i)
+		y := labels[i]
+		if y < 0 || y >= k {
+			panic(fmt.Sprintf("nn: label %d out of range [0,%d)", y, k))
+		}
+		maxv := row[0]
+		for _, v := range row[1:] {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		sum := 0.0
+		for j, v := range row {
+			e := math.Exp(v - maxv)
+			g[j] = e
+			sum += e
+		}
+		for j := range g {
+			g[j] /= sum
+		}
+		loss += -math.Log(math.Max(g[y], 1e-300))
+		g[y] -= 1
+	}
+	inv := 1.0 / float64(b)
+	grad.ScaleInPlace(inv)
+	return loss * inv, grad
+}
+
+// Name identifies the loss.
+func (SoftmaxCrossEntropy) Name() string { return "softmax-cross-entropy" }
+
+// Softmax returns row-wise softmax probabilities of a [B,K] tensor.
+func Softmax(logits *tensor.Tensor) *tensor.Tensor {
+	b, k := logits.Dim(0), logits.Dim(1)
+	out := tensor.New(b, k)
+	for i := 0; i < b; i++ {
+		row := logits.RowView(i)
+		o := out.RowView(i)
+		maxv := row[0]
+		for _, v := range row[1:] {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		sum := 0.0
+		for j, v := range row {
+			e := math.Exp(v - maxv)
+			o[j] = e
+			sum += e
+		}
+		for j := range o {
+			o[j] /= sum
+		}
+	}
+	return out
+}
+
+// MSE is mean squared error against one-hot targets; used in ablation tests.
+type MSE struct{}
+
+var _ Loss = MSE{}
+
+// Compute returns mean squared error to the one-hot encoding of labels.
+func (MSE) Compute(logits *tensor.Tensor, labels []int) (float64, *tensor.Tensor) {
+	b, k := logits.Dim(0), logits.Dim(1)
+	if len(labels) != b {
+		panic(fmt.Sprintf("nn: mse got %d labels for batch %d", len(labels), b))
+	}
+	grad := tensor.New(b, k)
+	loss := 0.0
+	n := float64(b * k)
+	for i := 0; i < b; i++ {
+		row := logits.RowView(i)
+		g := grad.RowView(i)
+		for j, v := range row {
+			t := 0.0
+			if j == labels[i] {
+				t = 1
+			}
+			d := v - t
+			loss += d * d / n
+			g[j] = 2 * d / n
+		}
+	}
+	return loss, grad
+}
+
+// Name identifies the loss.
+func (MSE) Name() string { return "mse" }
+
+// Accuracy returns the fraction of rows whose argmax equals the label.
+func Accuracy(logits *tensor.Tensor, labels []int) float64 {
+	b := logits.Dim(0)
+	correct := 0
+	for i := 0; i < b; i++ {
+		row := logits.RowView(i)
+		best := 0
+		for j, v := range row {
+			if v > row[best] {
+				best = j
+			}
+		}
+		if best == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(b)
+}

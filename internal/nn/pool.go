@@ -1,0 +1,163 @@
+package nn
+
+import (
+	"fmt"
+
+	"github.com/oasisfl/oasis/internal/tensor"
+)
+
+// MaxPool2D applies non-overlapping k×k max pooling over [B, C, H, W].
+type MaxPool2D struct {
+	K int
+
+	lastArg []int // index of the max element per output cell
+	inShape []int
+	name    string
+}
+
+var _ Layer = (*MaxPool2D)(nil)
+
+// NewMaxPool2D constructs a max-pooling layer with window and stride k.
+func NewMaxPool2D(name string, k int) *MaxPool2D { return &MaxPool2D{K: k, name: name} }
+
+// Forward pools each k×k window to its maximum.
+func (m *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Dims() != 4 {
+		panic(fmt.Sprintf("nn: %s expects [B,C,H,W], got %v", m.name, x.Shape()))
+	}
+	b, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	oh, ow := h/m.K, w/m.K
+	if oh == 0 || ow == 0 {
+		panic(fmt.Sprintf("nn: %s window %d too large for input %v", m.name, m.K, x.Shape()))
+	}
+	out := tensor.New(b, c, oh, ow)
+	xd, od := x.Data(), out.Data()
+	var args []int
+	if train {
+		args = make([]int, out.Len())
+	}
+	oi := 0
+	for bi := 0; bi < b; bi++ {
+		for ci := 0; ci < c; ci++ {
+			base := ((bi * c) + ci) * h * w
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					best := base + (oy*m.K)*w + ox*m.K
+					bv := xd[best]
+					for ky := 0; ky < m.K; ky++ {
+						rowBase := base + (oy*m.K+ky)*w + ox*m.K
+						for kx := 0; kx < m.K; kx++ {
+							if xd[rowBase+kx] > bv {
+								bv = xd[rowBase+kx]
+								best = rowBase + kx
+							}
+						}
+					}
+					od[oi] = bv
+					if train {
+						args[oi] = best
+					}
+					oi++
+				}
+			}
+		}
+	}
+	if train {
+		m.lastArg = args
+		m.inShape = x.Shape()
+	}
+	return out
+}
+
+// Backward routes each output gradient to the argmax input location.
+func (m *MaxPool2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if m.lastArg == nil {
+		panic(fmt.Sprintf("nn: %s Backward before Forward(train)", m.name))
+	}
+	out := tensor.New(m.inShape...)
+	od := out.Data()
+	gd := gradOut.Data()
+	if len(gd) != len(m.lastArg) {
+		panic(fmt.Sprintf("nn: %s Backward gradient length %d != %d", m.name, len(gd), len(m.lastArg)))
+	}
+	for i, a := range m.lastArg {
+		od[a] += gd[i]
+	}
+	return out
+}
+
+// Params returns nil: pooling has no parameters.
+func (m *MaxPool2D) Params() []*Param { return nil }
+
+// Clone returns a fresh pool layer.
+func (m *MaxPool2D) Clone() Layer { return NewMaxPool2D(m.name, m.K) }
+
+// Name returns the layer name.
+func (m *MaxPool2D) Name() string { return m.name }
+
+// GlobalAvgPool reduces [B, C, H, W] to [B, C] by spatial averaging.
+type GlobalAvgPool struct {
+	inShape []int
+	name    string
+}
+
+var _ Layer = (*GlobalAvgPool)(nil)
+
+// NewGlobalAvgPool constructs a global average pooling layer.
+func NewGlobalAvgPool(name string) *GlobalAvgPool { return &GlobalAvgPool{name: name} }
+
+// Forward averages each channel over its spatial extent.
+func (g *GlobalAvgPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Dims() != 4 {
+		panic(fmt.Sprintf("nn: %s expects [B,C,H,W], got %v", g.name, x.Shape()))
+	}
+	b, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	out := tensor.New(b, c)
+	xd, od := x.Data(), out.Data()
+	hw := float64(h * w)
+	for bi := 0; bi < b; bi++ {
+		for ci := 0; ci < c; ci++ {
+			base := ((bi * c) + ci) * h * w
+			s := 0.0
+			for i := 0; i < h*w; i++ {
+				s += xd[base+i]
+			}
+			od[bi*c+ci] = s / hw
+		}
+	}
+	if train {
+		g.inShape = x.Shape()
+	}
+	return out
+}
+
+// Backward spreads each channel gradient uniformly over its spatial extent.
+func (g *GlobalAvgPool) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if g.inShape == nil {
+		panic(fmt.Sprintf("nn: %s Backward before Forward(train)", g.name))
+	}
+	b, c, h, w := g.inShape[0], g.inShape[1], g.inShape[2], g.inShape[3]
+	out := tensor.New(b, c, h, w)
+	od := out.Data()
+	gd := gradOut.Data()
+	hw := float64(h * w)
+	for bi := 0; bi < b; bi++ {
+		for ci := 0; ci < c; ci++ {
+			v := gd[bi*c+ci] / hw
+			base := ((bi * c) + ci) * h * w
+			for i := 0; i < h*w; i++ {
+				od[base+i] = v
+			}
+		}
+	}
+	return out
+}
+
+// Params returns nil: pooling has no parameters.
+func (g *GlobalAvgPool) Params() []*Param { return nil }
+
+// Clone returns a fresh pool layer.
+func (g *GlobalAvgPool) Clone() Layer { return NewGlobalAvgPool(g.name) }
+
+// Name returns the layer name.
+func (g *GlobalAvgPool) Name() string { return g.name }

@@ -1,0 +1,115 @@
+// Package opt provides the optimizers used to train models in this
+// repository: plain SGD (the federated-averaging server step) and Adam (the
+// local training recipe of the paper's Table I experiment).
+package opt
+
+import (
+	"math"
+
+	"github.com/oasisfl/oasis/internal/nn"
+	"github.com/oasisfl/oasis/internal/tensor"
+)
+
+// Optimizer updates parameters from their accumulated gradients.
+type Optimizer interface {
+	// Step applies one update using each parameter's current gradient.
+	Step(params []*nn.Param)
+	Name() string
+}
+
+// SGD is stochastic gradient descent with optional momentum and decoupled
+// weight decay.
+type SGD struct {
+	LR          float64
+	Momentum    float64
+	WeightDecay float64
+
+	velocity map[*nn.Param]*tensor.Tensor
+}
+
+var _ Optimizer = (*SGD)(nil)
+
+// NewSGD constructs an SGD optimizer.
+func NewSGD(lr, momentum, weightDecay float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, WeightDecay: weightDecay,
+		velocity: make(map[*nn.Param]*tensor.Tensor)}
+}
+
+// Step applies w ← w − lr·(g + wd·w) with optional momentum.
+func (s *SGD) Step(params []*nn.Param) {
+	for _, p := range params {
+		g := p.G
+		if s.WeightDecay != 0 {
+			g = g.Clone().AddScaledInPlace(s.WeightDecay, p.W)
+		}
+		if s.Momentum != 0 {
+			v, ok := s.velocity[p]
+			if !ok {
+				v = tensor.New(p.W.Shape()...)
+				s.velocity[p] = v
+			}
+			v.ScaleInPlace(s.Momentum).AddInPlace(g)
+			g = v
+		}
+		p.W.AddScaledInPlace(-s.LR, g)
+	}
+}
+
+// Name identifies the optimizer.
+func (s *SGD) Name() string { return "sgd" }
+
+// Adam is the Adam optimizer (Kingma & Ba) with decoupled weight decay,
+// matching the paper's Table I training recipe (Adam, lr 1e-3, weight decay).
+type Adam struct {
+	LR          float64
+	Beta1       float64
+	Beta2       float64
+	Eps         float64
+	WeightDecay float64
+
+	t int
+	m map[*nn.Param]*tensor.Tensor
+	v map[*nn.Param]*tensor.Tensor
+}
+
+var _ Optimizer = (*Adam)(nil)
+
+// NewAdam constructs an Adam optimizer with the usual β defaults.
+func NewAdam(lr, weightDecay float64) *Adam {
+	return &Adam{
+		LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, WeightDecay: weightDecay,
+		m: make(map[*nn.Param]*tensor.Tensor),
+		v: make(map[*nn.Param]*tensor.Tensor),
+	}
+}
+
+// Step applies one Adam update with bias correction.
+func (a *Adam) Step(params []*nn.Param) {
+	a.t++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for _, p := range params {
+		m, ok := a.m[p]
+		if !ok {
+			m = tensor.New(p.W.Shape()...)
+			a.m[p] = m
+			a.v[p] = tensor.New(p.W.Shape()...)
+		}
+		v := a.v[p]
+		gd := p.G.Data()
+		md, vd, wd := m.Data(), v.Data(), p.W.Data()
+		for i, g := range gd {
+			if a.WeightDecay != 0 {
+				g += a.WeightDecay * wd[i]
+			}
+			md[i] = a.Beta1*md[i] + (1-a.Beta1)*g
+			vd[i] = a.Beta2*vd[i] + (1-a.Beta2)*g*g
+			mh := md[i] / c1
+			vh := vd[i] / c2
+			wd[i] -= a.LR * mh / (math.Sqrt(vh) + a.Eps)
+		}
+	}
+}
+
+// Name identifies the optimizer.
+func (a *Adam) Name() string { return "adam" }

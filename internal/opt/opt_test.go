@@ -1,0 +1,207 @@
+package opt
+
+import (
+	"math"
+	"testing"
+
+	"github.com/oasisfl/oasis/internal/nn"
+	"github.com/oasisfl/oasis/internal/tensor"
+)
+
+// quadParam builds a single scalar parameter for minimizing f(w) = ½w².
+func quadParam(w0 float64) *nn.Param {
+	return &nn.Param{
+		Name: "w",
+		W:    tensor.MustFromSlice([]float64{w0}, 1),
+		G:    tensor.New(1),
+	}
+}
+
+// stepQuad sets g = w (gradient of ½w²) and applies one optimizer step.
+func stepQuad(o Optimizer, p *nn.Param) {
+	p.G.Data()[0] = p.W.Data()[0]
+	o.Step([]*nn.Param{p})
+}
+
+func TestSGDConvergesOnQuadratic(t *testing.T) {
+	p := quadParam(10)
+	o := NewSGD(0.1, 0, 0)
+	for i := 0; i < 200; i++ {
+		stepQuad(o, p)
+	}
+	if w := math.Abs(p.W.Data()[0]); w > 1e-6 {
+		t.Errorf("SGD did not converge: |w| = %g", w)
+	}
+}
+
+func TestSGDMomentumFasterThanPlain(t *testing.T) {
+	plain, mom := quadParam(10), quadParam(10)
+	oPlain := NewSGD(0.02, 0, 0)
+	oMom := NewSGD(0.02, 0.9, 0)
+	for i := 0; i < 60; i++ {
+		stepQuad(oPlain, plain)
+		stepQuad(oMom, mom)
+	}
+	if math.Abs(mom.W.Data()[0]) >= math.Abs(plain.W.Data()[0]) {
+		t.Errorf("momentum (%g) not faster than plain (%g) on quadratic",
+			mom.W.Data()[0], plain.W.Data()[0])
+	}
+}
+
+func TestSGDWeightDecayShrinksWeights(t *testing.T) {
+	p := quadParam(1)
+	o := NewSGD(0.1, 0, 0.5)
+	p.G.Zero() // zero loss gradient: only decay acts
+	o.Step([]*nn.Param{p})
+	if w := p.W.Data()[0]; math.Abs(w-0.95) > 1e-12 {
+		t.Errorf("w after decay = %g, want 0.95", w)
+	}
+}
+
+func TestSGDExactStep(t *testing.T) {
+	p := quadParam(2)
+	o := NewSGD(0.25, 0, 0)
+	stepQuad(o, p) // w ← 2 − 0.25·2 = 1.5
+	if w := p.W.Data()[0]; math.Abs(w-1.5) > 1e-12 {
+		t.Errorf("w = %g, want 1.5", w)
+	}
+}
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	p := quadParam(10)
+	o := NewAdam(0.5, 0)
+	for i := 0; i < 300; i++ {
+		stepQuad(o, p)
+	}
+	if w := math.Abs(p.W.Data()[0]); w > 1e-3 {
+		t.Errorf("Adam did not converge: |w| = %g", w)
+	}
+}
+
+func TestAdamFirstStepIsLRSized(t *testing.T) {
+	// With bias correction, the very first Adam step has magnitude ≈ lr.
+	p := quadParam(10)
+	o := NewAdam(0.1, 0)
+	stepQuad(o, p)
+	if d := math.Abs(10 - p.W.Data()[0]); math.Abs(d-0.1) > 1e-6 {
+		t.Errorf("first Adam step size = %g, want ≈ 0.1", d)
+	}
+}
+
+func TestAdamStatePerParam(t *testing.T) {
+	// Two parameters with different gradient scales must keep separate
+	// moment estimates.
+	p1, p2 := quadParam(1), quadParam(1000)
+	o := NewAdam(0.1, 0)
+	p1.G.Data()[0] = p1.W.Data()[0]
+	p2.G.Data()[0] = p2.W.Data()[0]
+	o.Step([]*nn.Param{p1, p2})
+	// Adam's first step is gradient-scale invariant: both parameters move
+	// by ≈ lr despite gradients differing by 1000×.
+	d1 := 1 - p1.W.Data()[0]
+	d2 := 1000 - p2.W.Data()[0]
+	if math.Abs(d1-d2) > 1e-6 {
+		t.Errorf("Adam first steps differ across scales: %g vs %g", d1, d2)
+	}
+}
+
+func TestOptimizerNames(t *testing.T) {
+	if NewSGD(0.1, 0, 0).Name() != "sgd" {
+		t.Error("SGD name")
+	}
+	if NewAdam(0.1, 0).Name() != "adam" {
+		t.Error("Adam name")
+	}
+}
+
+// TestTrainingEndToEnd trains a tiny network on a linearly separable
+// problem and requires convergence with both optimizers.
+func TestTrainingEndToEnd(t *testing.T) {
+	for _, mk := range []func() Optimizer{
+		func() Optimizer { return NewSGD(0.5, 0.9, 0) },
+		func() Optimizer { return NewAdam(0.05, 0) },
+	} {
+		rng := nn.RandSource(13, 17)
+		net := nn.NewSequential(
+			nn.NewLinear("fc1", 2, 8, rng),
+			nn.NewReLU("relu"),
+			nn.NewLinear("fc2", 8, 2, rng),
+		)
+		o := mk()
+		// XOR-ish separable data.
+		x := tensor.MustFromSlice([]float64{
+			0.9, 0.8,
+			-0.7, -0.9,
+			0.8, -0.85,
+			-0.9, 0.75,
+		}, 4, 2)
+		labels := []int{0, 0, 1, 1}
+		var loss float64
+		for i := 0; i < 400; i++ {
+			net.ZeroGrad()
+			out := net.Forward(x, true)
+			var g *tensor.Tensor
+			loss, g = nn.SoftmaxCrossEntropy{}.Compute(out, labels)
+			net.Backward(g)
+			o.Step(net.Params())
+		}
+		if loss > 0.05 {
+			t.Errorf("%s: final loss %g, want < 0.05", o.Name(), loss)
+		}
+	}
+}
+
+func TestConstSchedule(t *testing.T) {
+	s := ConstSchedule{Rate: 0.1}
+	if s.LR(0) != 0.1 || s.LR(100) != 0.1 {
+		t.Error("const schedule varies")
+	}
+}
+
+func TestStepSchedule(t *testing.T) {
+	s, err := NewStepSchedule(1.0, 0.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[int]float64{0: 1, 2: 1, 3: 0.5, 5: 0.5, 6: 0.25, 9: 0.125}
+	for epoch, want := range cases {
+		if got := s.LR(epoch); math.Abs(got-want) > 1e-12 {
+			t.Errorf("LR(%d) = %g, want %g", epoch, got, want)
+		}
+	}
+	if _, err := NewStepSchedule(0, 0.5, 3); err == nil {
+		t.Error("zero base accepted")
+	}
+	if _, err := NewStepSchedule(1, 1.5, 3); err == nil {
+		t.Error("gamma > 1 accepted")
+	}
+}
+
+func TestApplySchedule(t *testing.T) {
+	sgd := NewSGD(1, 0, 0)
+	adam := NewAdam(1, 0)
+	s, err := NewStepSchedule(0.2, 0.1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ApplySchedule(sgd, s, 1); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sgd.LR-0.02) > 1e-12 {
+		t.Errorf("sgd LR = %g", sgd.LR)
+	}
+	if err := ApplySchedule(adam, s, 0); err != nil {
+		t.Fatal(err)
+	}
+	if adam.LR != 0.2 {
+		t.Errorf("adam LR = %g", adam.LR)
+	}
+	if err := ApplySchedule(fakeOpt{}, s, 0); err == nil {
+		t.Error("unknown optimizer accepted")
+	}
+}
+
+type fakeOpt struct{}
+
+func (fakeOpt) Step([]*nn.Param) {}
+func (fakeOpt) Name() string     { return "fake" }

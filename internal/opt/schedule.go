@@ -1,0 +1,72 @@
+package opt
+
+import "fmt"
+
+// Schedule maps an epoch index to a learning rate; optimizers are updated
+// between epochs via Apply.
+type Schedule interface {
+	// LR returns the learning rate for the given zero-based epoch.
+	LR(epoch int) float64
+	Name() string
+}
+
+// ConstSchedule keeps the learning rate fixed.
+type ConstSchedule struct {
+	Rate float64
+}
+
+var _ Schedule = ConstSchedule{}
+
+// LR returns the fixed rate.
+func (c ConstSchedule) LR(int) float64 { return c.Rate }
+
+// Name identifies the schedule.
+func (c ConstSchedule) Name() string { return fmt.Sprintf("const(%g)", c.Rate) }
+
+// StepSchedule decays the base rate by Gamma every StepSize epochs — the
+// standard recipe for the longer training runs of the Table I experiment.
+type StepSchedule struct {
+	Base     float64
+	Gamma    float64
+	StepSize int
+}
+
+var _ Schedule = StepSchedule{}
+
+// NewStepSchedule validates and builds a step-decay schedule.
+func NewStepSchedule(base, gamma float64, stepSize int) (StepSchedule, error) {
+	if base <= 0 || gamma <= 0 || gamma > 1 || stepSize <= 0 {
+		return StepSchedule{}, fmt.Errorf("opt: invalid step schedule (base=%g gamma=%g step=%d)", base, gamma, stepSize)
+	}
+	return StepSchedule{Base: base, Gamma: gamma, StepSize: stepSize}, nil
+}
+
+// LR returns base·gamma^⌊epoch/step⌋.
+func (s StepSchedule) LR(epoch int) float64 {
+	rate := s.Base
+	for i := 0; i < epoch/s.StepSize; i++ {
+		rate *= s.Gamma
+	}
+	return rate
+}
+
+// Name identifies the schedule.
+func (s StepSchedule) Name() string {
+	return fmt.Sprintf("step(%g,×%g/%d)", s.Base, s.Gamma, s.StepSize)
+}
+
+// ApplySchedule sets the optimizer's learning rate for the given epoch.
+// SGD and Adam are supported; unknown optimizers are left untouched and
+// reported.
+func ApplySchedule(o Optimizer, sched Schedule, epoch int) error {
+	lr := sched.LR(epoch)
+	switch v := o.(type) {
+	case *SGD:
+		v.LR = lr
+	case *Adam:
+		v.LR = lr
+	default:
+		return fmt.Errorf("opt: cannot schedule optimizer %T", o)
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+package tensor
+
+import (
+	rand "math/rand/v2"
+	"testing"
+)
+
+// Micro-benchmarks for the kernels that dominate the experiment harness:
+// the malicious-layer matmuls and the conv lowering.
+
+func benchPair(m, k, n int) (*Tensor, *Tensor) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	a := New(m, k)
+	a.FillRandn(rng, 1)
+	b := New(n, k) // transB layout
+	b.FillRandn(rng, 1)
+	return a, b
+}
+
+func BenchmarkMatMulTransB_8x3072x500(b *testing.B) {
+	x, w := benchPair(8, 3072, 500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = MatMulTransB(x, w)
+	}
+}
+
+func BenchmarkMatMulTransB_64x3072x500(b *testing.B) {
+	x, w := benchPair(64, 3072, 500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = MatMulTransB(x, w)
+	}
+}
+
+func BenchmarkMatMulTransA_64x3072x500(b *testing.B) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	g := New(64, 500)
+	g.FillRandn(rng, 1)
+	x := New(64, 3072)
+	x.FillRandn(rng, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = MatMulTransA(g, x)
+	}
+}
+
+func BenchmarkIm2Col32x32(b *testing.B) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	x := New(8, 3, 32, 32)
+	x.FillRandn(rng, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, _ = Im2Col(x, 3, 3, 1, 1)
+	}
+}
+
+func BenchmarkGobRoundTrip(b *testing.B) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	t := New(500, 3072)
+	t.FillRandn(rng, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		raw, err := t.GobEncode()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var back Tensor
+		if err := back.GobDecode(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package tensor
+
+import "fmt"
+
+// Im2Col lowers a 4-D activation tensor x of shape [B, C, H, W] into a 2-D
+// matrix of shape [B*OH*OW, C*KH*KW] so convolution becomes one matrix
+// product. Padding is zero-fill; stride applies to both axes.
+func Im2Col(x *Tensor, kh, kw, stride, pad int) (*Tensor, int, int) {
+	if x.Dims() != 4 {
+		panic(fmt.Sprintf("tensor: Im2Col requires [B,C,H,W], got %v", x.shape))
+	}
+	b, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	oh := (h+2*pad-kh)/stride + 1
+	ow := (w+2*pad-kw)/stride + 1
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("tensor: Im2Col output collapsed for input %v kernel %dx%d stride %d pad %d", x.shape, kh, kw, stride, pad))
+	}
+	cols := New(b*oh*ow, c*kh*kw)
+	row := 0
+	for bi := 0; bi < b; bi++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				dst := cols.data[row*c*kh*kw : (row+1)*c*kh*kw]
+				di := 0
+				for ci := 0; ci < c; ci++ {
+					base := ((bi * c) + ci) * h * w
+					for ky := 0; ky < kh; ky++ {
+						iy := oy*stride - pad + ky
+						for kx := 0; kx < kw; kx++ {
+							ix := ox*stride - pad + kx
+							if iy >= 0 && iy < h && ix >= 0 && ix < w {
+								dst[di] = x.data[base+iy*w+ix]
+							}
+							di++
+						}
+					}
+				}
+				row++
+			}
+		}
+	}
+	return cols, oh, ow
+}
+
+// Col2Im is the adjoint of Im2Col: it scatters the 2-D column gradient back
+// into a 4-D tensor of shape [B, C, H, W], accumulating overlaps.
+func Col2Im(cols *Tensor, b, c, h, w, kh, kw, stride, pad int) *Tensor {
+	oh := (h+2*pad-kh)/stride + 1
+	ow := (w+2*pad-kw)/stride + 1
+	if cols.Dims() != 2 || cols.shape[0] != b*oh*ow || cols.shape[1] != c*kh*kw {
+		panic(fmt.Sprintf("tensor: Col2Im shape mismatch cols %v for output [%d,%d,%d,%d]", cols.shape, b, c, h, w))
+	}
+	out := New(b, c, h, w)
+	row := 0
+	for bi := 0; bi < b; bi++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				src := cols.data[row*c*kh*kw : (row+1)*c*kh*kw]
+				si := 0
+				for ci := 0; ci < c; ci++ {
+					base := ((bi * c) + ci) * h * w
+					for ky := 0; ky < kh; ky++ {
+						iy := oy*stride - pad + ky
+						for kx := 0; kx < kw; kx++ {
+							ix := ox*stride - pad + kx
+							if iy >= 0 && iy < h && ix >= 0 && ix < w {
+								out.data[base+iy*w+ix] += src[si]
+							}
+							si++
+						}
+					}
+				}
+				row++
+			}
+		}
+	}
+	return out
+}

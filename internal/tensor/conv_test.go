@@ -1,0 +1,120 @@
+package tensor
+
+import (
+	"math"
+	rand "math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+// naiveConv is the direct O(B·C·K²·OH·OW) convolution used as a reference
+// for the im2col lowering.
+func naiveConv(x *Tensor, w *Tensor, stride, pad int) *Tensor {
+	b, c, h, wd := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	oc, kh, kw := w.Dim(0), w.Dim(2), w.Dim(3)
+	oh := (h+2*pad-kh)/stride + 1
+	ow := (wd+2*pad-kw)/stride + 1
+	out := New(b, oc, oh, ow)
+	for bi := 0; bi < b; bi++ {
+		for o := 0; o < oc; o++ {
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					s := 0.0
+					for ci := 0; ci < c; ci++ {
+						for ky := 0; ky < kh; ky++ {
+							for kx := 0; kx < kw; kx++ {
+								iy := oy*stride - pad + ky
+								ix := ox*stride - pad + kx
+								if iy < 0 || iy >= h || ix < 0 || ix >= wd {
+									continue
+								}
+								s += x.At(bi, ci, iy, ix) * w.At(o, ci, ky, kx)
+							}
+						}
+					}
+					out.Set(s, bi, o, oy, ox)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func TestIm2ColMatchesNaiveConv(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 17))
+		b := 1 + int(seed%2)
+		c := 1 + int((seed>>1)%3)
+		h := 4 + int((seed>>3)%4)
+		k := 1 + 2*int((seed>>5)%2) // 1 or 3
+		stride := 1 + int((seed>>6)%2)
+		pad := int((seed >> 7) % 2)
+		oc := 1 + int((seed>>8)%3)
+
+		x := New(b, c, h, h)
+		x.FillRandn(r, 1)
+		w := New(oc, c, k, k)
+		w.FillRandn(r, 1)
+
+		cols, oh, ow := Im2Col(x, k, k, stride, pad)
+		wmat := w.MustReshape(oc, c*k*k)
+		prod := MatMulTransB(cols, wmat) // [b*oh*ow, oc]
+		want := naiveConv(x, w, stride, pad)
+		for bi := 0; bi < b; bi++ {
+			for o := 0; o < oc; o++ {
+				for oy := 0; oy < oh; oy++ {
+					for ox := 0; ox < ow; ox++ {
+						got := prod.At((bi*oh+oy)*ow+ox, o)
+						if math.Abs(got-want.At(bi, o, oy, ox)) > 1e-9 {
+							return false
+						}
+					}
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 20})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCol2ImAdjoint verifies the defining adjoint property
+// ⟨Im2Col(x), y⟩ = ⟨x, Col2Im(y)⟩, which is exactly what makes the conv
+// backward pass correct.
+func TestCol2ImAdjoint(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 23))
+		b, c, h := 1+int(seed%2), 1+int((seed>>1)%2), 5+int((seed>>2)%3)
+		k, stride, pad := 3, 1+int((seed>>5)%2), int((seed>>6)%2)
+
+		x := New(b, c, h, h)
+		x.FillRandn(r, 1)
+		cols, _, _ := Im2Col(x, k, k, stride, pad)
+		y := New(cols.Dim(0), cols.Dim(1))
+		y.FillRandn(r, 1)
+
+		lhs := 0.0
+		for i, v := range cols.Data() {
+			lhs += v * y.Data()[i]
+		}
+		back := Col2Im(y, b, c, h, h, k, k, stride, pad)
+		rhs := 0.0
+		for i, v := range x.Data() {
+			rhs += v * back.Data()[i]
+		}
+		return math.Abs(lhs-rhs) < 1e-8*(1+math.Abs(lhs))
+	}, &quick.Config{MaxCount: 20})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIm2ColShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Im2Col on 2-D input did not panic")
+		}
+	}()
+	Im2Col(New(2, 2), 3, 3, 1, 1)
+}

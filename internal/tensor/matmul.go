@@ -1,0 +1,163 @@
+package tensor
+
+import "fmt"
+
+// MatMul returns the matrix product a·b for 2-D tensors a (m×k) and b (k×n).
+func MatMul(a, b *Tensor) *Tensor {
+	if a.Dims() != 2 || b.Dims() != 2 {
+		panic(fmt.Sprintf("tensor: MatMul requires 2-D operands, got %v × %v", a.shape, b.shape))
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v × %v", a.shape, b.shape))
+	}
+	out := New(m, n)
+	// ikj loop order keeps the inner loop contiguous over both b and out,
+	// which matters on the single-core runners this repo targets.
+	for i := 0; i < m; i++ {
+		arow := a.data[i*k : (i+1)*k]
+		orow := out.data[i*n : (i+1)*n]
+		for kk := 0; kk < k; kk++ {
+			av := arow[kk]
+			if av == 0 {
+				continue
+			}
+			brow := b.data[kk*n : (kk+1)*n]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MatMulTransB returns a·bᵀ for a (m×k) and b (n×k).
+func MatMulTransB(a, b *Tensor) *Tensor {
+	if a.Dims() != 2 || b.Dims() != 2 {
+		panic(fmt.Sprintf("tensor: MatMulTransB requires 2-D operands, got %v × %v", a.shape, b.shape))
+	}
+	m, k := a.shape[0], a.shape[1]
+	n, k2 := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTransB inner dimension mismatch %v × %vᵀ", a.shape, b.shape))
+	}
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		arow := a.data[i*k : (i+1)*k]
+		orow := out.data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := b.data[j*k : (j+1)*k]
+			orow[j] = dot(arow, brow)
+		}
+	}
+	return out
+}
+
+// dot is a 4-way unrolled inner product; the unroll breaks the loop-carried
+// dependence that otherwise serializes FP adds on the scalar backend.
+func dot(a, b []float64) float64 {
+	var s0, s1, s2, s3 float64
+	k := 0
+	for ; k+4 <= len(a); k += 4 {
+		s0 += a[k] * b[k]
+		s1 += a[k+1] * b[k+1]
+		s2 += a[k+2] * b[k+2]
+		s3 += a[k+3] * b[k+3]
+	}
+	s := s0 + s1 + s2 + s3
+	for ; k < len(a); k++ {
+		s += a[k] * b[k]
+	}
+	return s
+}
+
+// MatMulTransA returns aᵀ·b for a (k×m) and b (k×n).
+func MatMulTransA(a, b *Tensor) *Tensor {
+	if a.Dims() != 2 || b.Dims() != 2 {
+		panic(fmt.Sprintf("tensor: MatMulTransA requires 2-D operands, got %vᵀ × %v", a.shape, b.shape))
+	}
+	k, m := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTransA inner dimension mismatch %vᵀ × %v", a.shape, b.shape))
+	}
+	out := New(m, n)
+	for kk := 0; kk < k; kk++ {
+		arow := a.data[kk*m : (kk+1)*m]
+		brow := b.data[kk*n : (kk+1)*n]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			orow := out.data[i*n : (i+1)*n]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// Transpose2D returns the transpose of a 2-D tensor.
+func Transpose2D(a *Tensor) *Tensor {
+	if a.Dims() != 2 {
+		panic(fmt.Sprintf("tensor: Transpose2D requires 2-D operand, got %v", a.shape))
+	}
+	m, n := a.shape[0], a.shape[1]
+	out := New(n, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out.data[j*m+i] = a.data[i*n+j]
+		}
+	}
+	return out
+}
+
+// MatVec returns the matrix-vector product a·x for a (m×k) and x of length k.
+func MatVec(a *Tensor, x []float64) []float64 {
+	if a.Dims() != 2 {
+		panic(fmt.Sprintf("tensor: MatVec requires 2-D matrix, got %v", a.shape))
+	}
+	m, k := a.shape[0], a.shape[1]
+	if len(x) != k {
+		panic(fmt.Sprintf("tensor: MatVec length mismatch %v · vec(%d)", a.shape, len(x)))
+	}
+	out := make([]float64, m)
+	for i := 0; i < m; i++ {
+		out[i] = dot(a.data[i*k:(i+1)*k], x)
+	}
+	return out
+}
+
+// Row returns a copy of row i of a 2-D tensor.
+func (t *Tensor) Row(i int) []float64 {
+	if t.Dims() != 2 {
+		panic(fmt.Sprintf("tensor: Row requires 2-D tensor, got %v", t.shape))
+	}
+	n := t.shape[1]
+	out := make([]float64, n)
+	copy(out, t.data[i*n:(i+1)*n])
+	return out
+}
+
+// SetRow copies v into row i of a 2-D tensor.
+func (t *Tensor) SetRow(i int, v []float64) {
+	if t.Dims() != 2 {
+		panic(fmt.Sprintf("tensor: SetRow requires 2-D tensor, got %v", t.shape))
+	}
+	n := t.shape[1]
+	if len(v) != n {
+		panic(fmt.Sprintf("tensor: SetRow length %d != row width %d", len(v), n))
+	}
+	copy(t.data[i*n:(i+1)*n], v)
+}
+
+// RowView returns row i of a 2-D tensor as a slice sharing t's storage.
+func (t *Tensor) RowView(i int) []float64 {
+	if t.Dims() != 2 {
+		panic(fmt.Sprintf("tensor: RowView requires 2-D tensor, got %v", t.shape))
+	}
+	n := t.shape[1]
+	return t.data[i*n : (i+1)*n]
+}
