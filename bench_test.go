@@ -46,6 +46,7 @@ func BenchmarkTable1ModelAccuracy(b *testing.B)     { benchExperiment(b, "table1
 func BenchmarkProp1ActivationAnalysis(b *testing.B) { benchExperiment(b, "prop1") }
 func BenchmarkDPTradeoffAblation(b *testing.B)      { benchExperiment(b, "dp") }
 func BenchmarkPreserveMeanAblation(b *testing.B)    { benchExperiment(b, "pm") }
+func BenchmarkRobustAggregation(b *testing.B)       { benchExperiment(b, "robust") }
 
 // BenchmarkClientGradients measures one client-side gradient computation
 // against a planted RTF layer (the inner loop of Figures 3 and 5).
@@ -117,12 +118,13 @@ func BenchmarkOASISExpansion(b *testing.B) {
 	}
 }
 
-// BenchmarkFLRound measures one full federated round (dispatch, client
-// gradients with OASIS, aggregation) over the in-memory transport.
-func BenchmarkFLRound(b *testing.B) {
-	ds := NewSynthDataset("bench-fl", 10, 3, 32, 32, 512, 42)
+// benchRoster builds n OASIS-defended clients over disjoint shards of a
+// shared synthetic dataset.
+func benchRoster(b *testing.B, n int) *MemoryRoster {
+	b.Helper()
+	ds := NewSynthDataset("bench-fl", 10, 3, 32, 32, 128*n, 42)
 	rng := NewRand(9, 9)
-	shards, err := ShardDataset(ds, 4, rng)
+	shards, err := ShardDataset(ds, n, rng)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -136,12 +138,49 @@ func BenchmarkFLRound(b *testing.B) {
 		c.Pre = def
 		roster.Add(c)
 	}
-	model := NewMLP(ds, 64, rng)
+	return roster
+}
+
+// benchModel builds the global MLP used by the FL round benchmarks.
+func benchModel() *Model {
+	ds := NewSynthDataset("bench-fl", 10, 3, 32, 32, 32, 42)
+	return NewMLP(ds, 64, NewRand(9, 9))
+}
+
+// BenchmarkFLRound measures one full federated round (dispatch, client
+// gradients with OASIS, aggregation) over the in-memory transport.
+func BenchmarkFLRound(b *testing.B) {
+	roster := benchRoster(b, 4)
+	model := benchModel()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		server := NewFLServer(FLServerConfig{Rounds: 1, LearningRate: 0.05, Seed: uint64(i)}, model, roster)
 		if _, err := server.Run(context.Background()); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkRoundSequentialVsConcurrent pits the sequential engine
+// (Workers=1) against the concurrent worker pool at increasing fan-out over
+// a 16-client roster, so the dispatcher's speedup lands in the bench
+// trajectory. (The bit-identical-History guarantee itself is asserted by
+// TestConcurrentHistoryDeterminism in internal/fl.)
+func BenchmarkRoundSequentialVsConcurrent(b *testing.B) {
+	const clients = 16
+	for _, workers := range []int{1, 2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			roster := benchRoster(b, clients)
+			model := benchModel()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				server := NewFLServer(FLServerConfig{
+					Rounds: 1, LearningRate: 0.05, Seed: uint64(i), Workers: workers,
+				}, model, roster)
+				if _, err := server.Run(context.Background()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

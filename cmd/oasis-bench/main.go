@@ -35,6 +35,7 @@ func run() error {
 		seed    = flag.Uint64("seed", 42, "experiment seed")
 		outDir  = flag.String("out", "", "directory for CSV/PNG artifacts (empty = stdout only)")
 		verbose = flag.Bool("v", false, "log progress while running")
+		workers = flag.Int("workers", 0, "max concurrent clients in FL-round experiments (0 = NumCPU)")
 	)
 	flag.Parse()
 
@@ -45,7 +46,7 @@ func run() error {
 		return nil
 	}
 
-	cfg := experiments.Config{Quick: *quick, Seed: *seed, OutDir: *outDir}
+	cfg := experiments.Config{Quick: *quick, Seed: *seed, OutDir: *outDir, Workers: *workers}
 	if *verbose {
 		cfg.Log = os.Stderr
 	}

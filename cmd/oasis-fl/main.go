@@ -14,6 +14,10 @@
 // Demo mode spawns the server and clients in-process over real TCP sockets:
 //
 //	oasis-fl -demo -clients 3 -rounds 5 -attack rtf -defense MR
+//
+// The round engine is concurrent and its aggregation policy is pluggable:
+//
+//	oasis-fl -demo -clients 8 -workers 8 -agg trimmed:0.2
 package main
 
 import (
@@ -51,22 +55,49 @@ func run() error {
 		attackID = flag.String("attack", "", "dishonest server attack (rtf | cah; empty = honest)")
 		seed     = flag.Uint64("seed", 42, "deterministic seed")
 		outDir   = flag.String("out", "", "directory for reconstruction montages (server side)")
+		workers  = flag.Int("workers", 0, "max clients trained concurrently per round (0 = NumCPU, 1 = sequential)")
+		aggName  = flag.String("agg", "mean", "aggregation policy: mean | median | trimmed[:frac] | normclip[:max]")
 	)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// Fail a typo'd -agg before the server starts listening and waiting for
+	// clients, not minutes later when the round engine first needs it.
+	if (*demo || *role == "server") && *aggName != "" {
+		if _, err := oasis.NewAggregator(*aggName); err != nil {
+			return err
+		}
+	}
+	opts := driveOptions{
+		rounds:   *rounds,
+		attackID: *attackID,
+		seed:     *seed,
+		outDir:   *outDir,
+		workers:  *workers,
+		aggName:  *aggName,
+	}
 	switch {
 	case *demo:
-		return runDemo(ctx, *clients, *rounds, *batch, *defName, *attackID, *seed, *outDir)
+		return runDemo(ctx, *clients, *batch, *defName, opts)
 	case *role == "server":
-		return runServer(ctx, *addr, *clients, *rounds, *attackID, *seed, *outDir)
+		return runServer(ctx, *addr, *clients, opts)
 	case *role == "client":
 		return runClient(ctx, *addr, *name, *batch, *defName, *seed)
 	default:
 		return fmt.Errorf("pass -demo, or -role server|client")
 	}
+}
+
+// driveOptions carries the server-side round-engine knobs.
+type driveOptions struct {
+	rounds   int
+	attackID string
+	seed     uint64
+	outDir   string
+	workers  int
+	aggName  string
 }
 
 // newClient assembles a local client with an optional OASIS defense.
@@ -92,7 +123,7 @@ func runClient(ctx context.Context, addr, name string, batch int, defName string
 	return oasis.ServeTCP(ctx, addr, client)
 }
 
-func runServer(ctx context.Context, addr string, clients, rounds int, attackID string, seed uint64, outDir string) error {
+func runServer(ctx context.Context, addr string, clients int, opts driveOptions) error {
 	roster, err := oasis.ListenTCP(addr)
 	if err != nil {
 		return err
@@ -104,17 +135,26 @@ func runServer(ctx context.Context, addr string, clients, rounds int, attackID s
 	if err := roster.WaitForClients(waitCtx, clients); err != nil {
 		return err
 	}
-	return drive(ctx, roster, rounds, attackID, seed, outDir)
+	return drive(ctx, roster, opts)
 }
 
 // drive runs the FL rounds over any roster and reports results.
-func drive(ctx context.Context, roster oasis.FLRoster, rounds int, attackID string, seed uint64, outDir string) error {
+func drive(ctx context.Context, roster oasis.FLRoster, opts driveOptions) error {
+	seed, attackID, outDir := opts.seed, opts.attackID, opts.outDir
 	rng := oasis.NewRand(seed, 0xf1)
 	ds := oasis.NewSynthDataset("server-arch", 10, 3, 32, 32, 512, seed)
 	model := oasis.NewMLP(ds, 64, rng)
 
-	cfg := oasis.FLServerConfig{Rounds: rounds, LearningRate: 0.05, Seed: seed}
+	cfg := oasis.FLServerConfig{Rounds: opts.rounds, LearningRate: 0.05, Seed: seed, Workers: opts.workers}
 	server := oasis.NewFLServer(cfg, model, roster)
+	if opts.aggName != "" {
+		agg, err := oasis.NewAggregator(opts.aggName)
+		if err != nil {
+			return err
+		}
+		server.Aggregator = agg
+		fmt.Printf("aggregation policy: %s\n", agg.Name())
+	}
 
 	var dishonest *oasis.DishonestServer
 	switch attackID {
@@ -175,7 +215,7 @@ func drive(ctx context.Context, roster oasis.FLRoster, rounds int, attackID stri
 	return nil
 }
 
-func runDemo(ctx context.Context, clients, rounds, batch int, defName, attackID string, seed uint64, outDir string) error {
+func runDemo(ctx context.Context, clients, batch int, defName string, opts driveOptions) error {
 	roster, err := oasis.ListenTCP("127.0.0.1:0")
 	if err != nil {
 		return err
@@ -188,7 +228,7 @@ func runDemo(ctx context.Context, clients, rounds, batch int, defName, attackID 
 	var wg sync.WaitGroup
 	for i := 0; i < clients; i++ {
 		name := fmt.Sprintf("client-%d", i+1)
-		c, err := newClient(name, batch, defName, seed+uint64(i))
+		c, err := newClient(name, batch, defName, opts.seed+uint64(i))
 		if err != nil {
 			return err
 		}
@@ -205,7 +245,7 @@ func runDemo(ctx context.Context, clients, rounds, batch int, defName, attackID 
 	if err := roster.WaitForClients(waitCtx, clients); err != nil {
 		return err
 	}
-	if err := drive(ctx, roster, rounds, attackID, seed, outDir); err != nil {
+	if err := drive(ctx, roster, opts); err != nil {
 		return err
 	}
 	stopClients()

@@ -28,6 +28,10 @@ type (
 	FLUpdate = fl.Update
 	// FLRoster abstracts how the server reaches its clients.
 	FLRoster = fl.Roster
+	// FLAggregator folds one round's client updates into the applied
+	// gradient (streaming Add/Finalize; see fl.Aggregator for the
+	// contract). Assign to FLServer.Aggregator; nil means FedAvg mean.
+	FLAggregator = fl.Aggregator
 	// MemoryRoster is the in-process transport.
 	MemoryRoster = fl.MemoryRoster
 	// TCPServer is the TCP/gob transport's listener side.
@@ -58,10 +62,24 @@ func NewFLClient(name string, shard Dataset, batchSize int, rng *rand.Rand) *FLL
 	return fl.NewLocalClient(name, shard, batchSize, rng)
 }
 
-// NewFLServer builds a server over a global model and roster.
+// NewFLServer builds a server over a global model and roster. Set
+// cfg.Workers to bound the round engine's client concurrency (0 = NumCPU; 1
+// = sequential) and assign server.Aggregator to change the aggregation
+// policy — the History is bit-identical across worker counts for the same
+// seed.
 func NewFLServer(cfg FLServerConfig, model *Model, roster FLRoster) *FLServer {
 	return fl.NewServer(cfg, model, roster)
 }
+
+// NewAggregator resolves an aggregation policy by name: "mean" (FedAvg,
+// Eq. 1), "median" (coordinate-wise), "trimmed[:frac]" (coordinate-wise
+// trimmed mean), or "normclip[:max]" (per-update L2 clipping before mean).
+func NewAggregator(name string) (FLAggregator, error) {
+	return fl.NewAggregatorByName(name)
+}
+
+// AggregatorNames lists the aggregation policies NewAggregator accepts.
+func AggregatorNames() []string { return fl.AggregatorNames() }
 
 // ListenTCP starts a TCP roster on addr ("127.0.0.1:0" for an ephemeral
 // port).

@@ -1,0 +1,3 @@
+module github.com/oasisfl/oasis
+
+go 1.24

@@ -33,6 +33,11 @@ type Capture struct {
 // swaps every dispatched model for the attack's malicious victim model and
 // inverts every uploaded gradient. Plug it into fl.Server.Modifier and
 // fl.Server.Observer to run the paper's threat model end to end.
+//
+// The fl.Server serializes Observe calls in deterministic client-selection
+// order even with a concurrent round engine (Workers > 1), so the capture
+// sequence is reproducible under a fixed seed. The mutex below additionally
+// makes Captures safe to poll from other goroutines while a run is live.
 type DishonestServer struct {
 	label string
 	spec  fl.ModelSpec

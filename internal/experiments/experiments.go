@@ -33,6 +33,9 @@ type Config struct {
 	OutDir string
 	// Log receives progress lines; nil discards them.
 	Log io.Writer
+	// Workers bounds client concurrency in FL-round experiments (0 =
+	// NumCPU); results are bit-identical across worker counts.
+	Workers int
 }
 
 func (c Config) logf(format string, args ...any) {
@@ -100,6 +103,7 @@ func Registry() []Spec {
 		{ID: "prop1", Title: "Ablation: Proposition-1 activation-set analysis", Run: Prop1},
 		{ID: "dp", Title: "Ablation: DP noise vs reconstruction and utility (§V)", Run: DPTradeoff},
 		{ID: "pm", Title: "Ablation: mean restoration in OASIS transforms", Run: PreserveMean},
+		{ID: "robust", Title: "Scenario: robust aggregation under a poisoning client", Run: Robust},
 	}
 }
 

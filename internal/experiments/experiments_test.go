@@ -12,7 +12,7 @@ import (
 func quickCfg() Config { return Config{Quick: true, Seed: 42} }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"fig2", "fig3", "fig4", "fig5", "fig6", "visual", "fig13", "fig14", "table1", "prop1", "dp", "pm"}
+	want := []string{"fig2", "fig3", "fig4", "fig5", "fig6", "visual", "fig13", "fig14", "table1", "prop1", "dp", "pm", "robust"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(got), len(want))
@@ -308,5 +308,46 @@ func TestVisualRuns(t *testing.T) {
 	}
 	if len(res.Artifacts) < 6 {
 		t.Errorf("visual wrote %d artifacts, want ≥ 6 (figs 7–12)", len(res.Artifacts))
+	}
+}
+
+// robustCells indexes the robust table rows by "aggregator/poisoned".
+func robustCells(t *testing.T, res *Result) map[string][]string {
+	t.Helper()
+	out := map[string][]string{}
+	for _, row := range res.Tables[0].Rows {
+		out[row[0]+"/"+row[1]] = row
+	}
+	return out
+}
+
+func TestRobustShape(t *testing.T) {
+	res, err := Robust(Config{Quick: true, Seed: 42, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := robustCells(t, res)
+	finalLoss := func(key string) float64 {
+		row, ok := rows[key]
+		if !ok {
+			t.Fatalf("missing row %s", key)
+		}
+		v, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			t.Fatalf("bad final-loss cell %q", row[3])
+		}
+		return v
+	}
+	meanPoisoned := finalLoss("mean/true")
+	meanHonest := finalLoss("mean/false")
+	// The poisoning client (×50 gradients) must hurt the plain mean…
+	if meanPoisoned <= meanHonest {
+		t.Errorf("poisoning did not degrade the mean: %.4f vs honest %.4f", meanPoisoned, meanHonest)
+	}
+	// …while every robust policy stays strictly better than the poisoned mean.
+	for _, agg := range []string{"median", "trimmed:0.2", "normclip:1"} {
+		if r := finalLoss(agg + "/true"); r >= meanPoisoned {
+			t.Errorf("%s (%.4f) not better than poisoned mean (%.4f)", agg, r, meanPoisoned)
+		}
 	}
 }

@@ -1,0 +1,189 @@
+package fl
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/oasisfl/oasis/internal/tensor"
+)
+
+// mkUpdate builds a single-tensor update with the given values.
+func mkUpdate(id string, vals ...float64) Update {
+	t := tensor.New(len(vals))
+	copy(t.Data(), vals)
+	return Update{ClientID: id, Grads: []*tensor.Tensor{t}}
+}
+
+func finalizeOne(t *testing.T, a Aggregator, updates ...Update) []float64 {
+	t.Helper()
+	a.Reset()
+	for _, u := range updates {
+		if err := a.Add(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, err := a.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("finalize returned %d tensors, want 1", len(out))
+	}
+	return out[0].Data()
+}
+
+func TestFedAvgMeanAverages(t *testing.T) {
+	got := finalizeOne(t, NewFedAvgMean(),
+		mkUpdate("a", 1, 2), mkUpdate("b", 3, 4), mkUpdate("c", 5, 6))
+	want := []float64{3, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("mean[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCoordinateMedianResistsOutlier(t *testing.T) {
+	got := finalizeOne(t, NewCoordinateMedian(),
+		mkUpdate("a", 1, 1), mkUpdate("b", 2, 2), mkUpdate("poison", 1e9, -1e9))
+	for i, v := range got {
+		if v != []float64{2, 1}[i] {
+			t.Errorf("median[%d] = %g", i, v)
+		}
+	}
+	// Even count: median of {1,2,3,4} per coordinate.
+	got = finalizeOne(t, NewCoordinateMedian(),
+		mkUpdate("a", 1), mkUpdate("b", 2), mkUpdate("c", 3), mkUpdate("d", 4))
+	if got[0] != 2.5 {
+		t.Errorf("even-count median = %g, want 2.5", got[0])
+	}
+}
+
+func TestTrimmedMeanDropsTails(t *testing.T) {
+	agg, err := NewTrimmedMean(0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// n=4, k=1: drop min and max, average the middle two.
+	got := finalizeOne(t, agg,
+		mkUpdate("a", 0), mkUpdate("b", 2), mkUpdate("c", 4), mkUpdate("poison", 1e9))
+	if got[0] != 3 {
+		t.Errorf("trimmed mean = %g, want 3", got[0])
+	}
+	if _, err := NewTrimmedMean(0.5); err == nil {
+		t.Error("frac 0.5 accepted")
+	}
+	// Frac=0.3 with n=10 must trim exactly 3 per tail even though
+	// 0.3*10 float-truncates to 2: all three colluding outliers per tail
+	// must be discarded.
+	agg03, err := NewTrimmedMean(0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	updates := make([]Update, 0, 10)
+	for i, v := range []float64{0, 0, 0, 1, 1, 1, 1, 100, 100, 100} {
+		updates = append(updates, mkUpdate(fmt.Sprintf("u%d", i), v))
+	}
+	if got := finalizeOne(t, agg03, updates...); got[0] != 1 {
+		t.Errorf("trimmed(0.3) over 10 updates = %g, want 1 (outlier survived the trim)", got[0])
+	}
+	if _, err := NewTrimmedMean(-0.1); err == nil {
+		t.Error("negative frac accepted")
+	}
+}
+
+func TestNormClippedBoundsOutlierInfluence(t *testing.T) {
+	agg, err := NewNormClipped(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The honest update (norm 0.5) passes untouched; the poisoned one
+	// (norm 1000) is scaled down to norm 1.
+	got := finalizeOne(t, agg, mkUpdate("a", 0.5), mkUpdate("poison", 1000))
+	if want := (0.5 + 1.0) / 2; math.Abs(got[0]-want) > 1e-12 {
+		t.Errorf("clipped mean = %g, want %g", got[0], want)
+	}
+	if _, err := NewNormClipped(0); err == nil {
+		t.Error("zero clip accepted")
+	}
+}
+
+func TestNormClippedDoesNotMutateUpdate(t *testing.T) {
+	agg, err := NewNormClipped(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg.Reset()
+	u := mkUpdate("big", 3, 4) // norm 5 > 1
+	if err := agg.Add(u); err != nil {
+		t.Fatal(err)
+	}
+	if u.Grads[0].Data()[0] != 3 || u.Grads[0].Data()[1] != 4 {
+		t.Errorf("Add mutated the caller's gradients: %v", u.Grads[0].Data())
+	}
+}
+
+func TestAggregatorShapeMismatch(t *testing.T) {
+	for _, a := range []Aggregator{NewFedAvgMean(), NewCoordinateMedian()} {
+		a.Reset()
+		if err := a.Add(mkUpdate("a", 1, 2)); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Add(mkUpdate("b", 1, 2, 3)); err == nil {
+			t.Errorf("%s accepted a mismatched update", a.Name())
+		}
+	}
+}
+
+func TestAggregatorFinalizeEmpty(t *testing.T) {
+	for _, a := range []Aggregator{NewFedAvgMean(), NewCoordinateMedian()} {
+		a.Reset()
+		if _, err := a.Finalize(); err == nil {
+			t.Errorf("%s finalized empty without error", a.Name())
+		}
+	}
+}
+
+func TestAggregatorResetClearsState(t *testing.T) {
+	a := NewFedAvgMean()
+	finalizeOne(t, a, mkUpdate("a", 10))
+	got := finalizeOne(t, a, mkUpdate("b", 2), mkUpdate("c", 4))
+	if got[0] != 3 {
+		t.Errorf("post-Reset mean = %g, want 3 (state leaked across rounds)", got[0])
+	}
+}
+
+func TestNewAggregatorByName(t *testing.T) {
+	cases := []struct {
+		spec string
+		want string
+	}{
+		{"mean", "mean"},
+		{"fedavg", "mean"},
+		{"median", "median"},
+		{"trimmed", "trimmed(0.1)"},
+		{"trimmed:0.25", "trimmed(0.25)"},
+		{"normclip", "normclip(10)"},
+		{"normclip:5", "normclip(5)"},
+	}
+	for _, c := range cases {
+		a, err := NewAggregatorByName(c.spec)
+		if err != nil {
+			t.Errorf("%s: %v", c.spec, err)
+			continue
+		}
+		if a.Name() != c.want {
+			t.Errorf("%s resolved to %s, want %s", c.spec, a.Name(), c.want)
+		}
+	}
+	for _, bad := range []string{"", "krum", "trimmed:x", "mean:1", "normclip:-3"} {
+		if _, err := NewAggregatorByName(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+	if names := AggregatorNames(); len(names) < 4 || strings.Join(names, ",") != "mean,median,trimmed,normclip" {
+		t.Errorf("AggregatorNames() = %v", names)
+	}
+}

@@ -28,6 +28,10 @@ type Update struct {
 
 // BatchPreprocessor transforms a client's local batch before gradients are
 // computed. The OASIS defense (internal/core.Defense) implements this.
+// Implementations shared across clients must be goroutine-safe when the
+// server runs with Workers > 1; core.Defense is pure — and therefore
+// shareable — only when its augmentation policy is deterministic (the
+// standard MR/mR/SH/flip policies are; augment.Randomized is not).
 type BatchPreprocessor interface {
 	Apply(b *data.Batch) (*data.Batch, error)
 	Name() string
@@ -35,14 +39,26 @@ type BatchPreprocessor interface {
 
 // GradientDefense post-processes gradients before upload (DPSGD, pruning).
 // It mirrors internal/defense.GradientDefense without importing it, keeping
-// the protocol layer free of defense policy.
+// the protocol layer free of defense policy. Stateful implementations
+// (DPSGD mutates its RNG) must not be shared across clients when the server
+// runs with Workers > 1; give each client its own instance.
 type GradientDefense interface {
 	Apply(grads []*tensor.Tensor)
 	Name() string
 }
 
-// Client executes local training rounds. Implementations must be safe for
-// sequential reuse across rounds; they are not required to be goroutine-safe.
+// Client executes local training rounds.
+//
+// Concurrency contract: the server never calls HandleRound concurrently on
+// the SAME Client — each client handles at most one in-flight round request.
+// But when ServerConfig.Workers > 1 DIFFERENT clients run concurrently, so
+// any state shared between client instances (a common *rand.Rand, a stateful
+// GradientDefense such as DPSGD, a shared network connection) must either be
+// synchronized or duplicated per client. State owned exclusively by one
+// client needs no locking. An OASIS Defense (internal/core) over a
+// deterministic policy is pure and safe to share; one built with
+// core.RandomizedDefense draws from its policy's *rand.Rand on every Apply
+// and must be per-client. Datasets are read-only and safe to share.
 type Client interface {
 	ID() string
 	HandleRound(ctx context.Context, req RoundRequest) (Update, error)
@@ -58,6 +74,10 @@ type Client interface {
 // server aggregates exactly like a plain gradient. The reconstruction
 // attacks still apply — the first local step's gradient dominates the
 // malicious layer's pseudo-gradient — so OASIS matters in this mode too.
+//
+// A LocalClient satisfies the Client concurrency contract as long as Rng,
+// GradDef, and any randomized Pre policy are not shared with other clients:
+// Shard is only read, and a deterministic-policy OASIS defense is pure.
 type LocalClient struct {
 	Name      string
 	Shard     data.Dataset

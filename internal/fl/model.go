@@ -15,6 +15,16 @@
 // Clients defend themselves with a BatchPreprocessor (OASIS) and/or a
 // GradientDefense (DPSGD, pruning). Transports are pluggable: in-memory for
 // simulation and benchmarks, TCP/gob for genuinely distributed runs.
+//
+// The round engine is concurrent: a bounded worker pool
+// (ServerConfig.Workers) runs HandleRound for the selected clients in
+// parallel, while all bookkeeping — UpdateObserver taps, failure accounting,
+// and aggregation through the pluggable Aggregator (mean, coordinate-wise
+// median, trimmed mean, norm clipping; see NewAggregatorByName) — is merged
+// on the server goroutine in client-selection order. A run's History is
+// therefore bit-identical for every worker count under the same seed. See
+// the Client, Aggregator, and UpdateObserver docs for the exact
+// goroutine-safety contracts.
 package fl
 
 import (

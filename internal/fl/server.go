@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math"
 	rand "math/rand/v2"
+	"runtime"
+	"sync"
 
 	"github.com/oasisfl/oasis/internal/nn"
 	"github.com/oasisfl/oasis/internal/tensor"
@@ -14,6 +16,11 @@ import (
 // model arbitrarily — changing or adding parameters and layers — before it
 // reaches the clients (paper §III-A threat model). Honest servers leave it
 // nil.
+//
+// Modify is called at most once per round, always from the server's own
+// goroutine, never concurrently. The returned ModelSpec is shared read-only
+// by every worker dispatching to clients, so implementations must not retain
+// and mutate it after returning.
 type ModelModifier interface {
 	Modify(round int, spec ModelSpec) (ModelSpec, error)
 	Name() string
@@ -21,13 +28,19 @@ type ModelModifier interface {
 
 // UpdateObserver taps every raw client update before aggregation; the
 // reconstruction attacks live behind this interface.
+//
+// The round engine serializes all Observe calls on the server goroutine, in
+// deterministic client-selection order, regardless of ServerConfig.Workers —
+// an Observer therefore does not need internal locking, and its view of a
+// run is reproducible under a fixed seed.
 type UpdateObserver interface {
 	Observe(round int, u Update)
 }
 
 // Roster abstracts how the server reaches its clients (in-memory or TCP).
 type Roster interface {
-	// Clients returns the currently connected clients.
+	// Clients returns the currently connected clients. Implementations must
+	// be safe to call while a previous round's workers are still draining.
 	Clients() []Client
 }
 
@@ -39,17 +52,25 @@ type ServerConfig struct {
 	Seed            uint64
 	// TolerateFailures keeps a round going when individual clients error
 	// (stragglers, dropped connections): their updates are skipped and the
-	// remaining ones are averaged. A round still fails when every selected
+	// remaining ones are aggregated. A round still fails when every selected
 	// client errors.
 	TolerateFailures bool
+	// Workers bounds how many clients train concurrently inside one round.
+	// 0 means runtime.NumCPU(); 1 reproduces the sequential engine. The
+	// resulting History is bit-identical for every Workers value under the
+	// same seed: only wall-clock time changes. Rosters whose clients share
+	// mutable state (a common *rand.Rand, a stateful GradientDefense, a
+	// randomized augmentation policy) must set Workers to 1 or synchronize
+	// that state — see the Client concurrency contract.
+	Workers int
 }
 
 // RoundStats records one round's aggregate outcome.
 type RoundStats struct {
 	Round       int
 	MeanLoss    float64
-	Clients     []string // clients whose updates were aggregated
-	Failed      []string // clients that errored (TolerateFailures mode)
+	Clients     []string // clients whose updates were aggregated, in selection order
+	Failed      []string // clients that errored (TolerateFailures mode), in selection order
 	GradNorm    float64  // L2 norm of the aggregated gradient
 	UpdateBytes int      // approximate payload size in float64 count
 }
@@ -67,13 +88,21 @@ func (h History) FinalLoss() float64 {
 	return h.Rounds[len(h.Rounds)-1].MeanLoss
 }
 
-// Server coordinates FL training per §II-A.
+// Server coordinates FL training per §II-A. Each round it samples M clients,
+// dispatches the (possibly maliciously modified) model to them through a
+// bounded worker pool, and folds their updates through the configured
+// Aggregator in deterministic selection order.
 type Server struct {
 	Config   ServerConfig
 	Model    *nn.Sequential
 	Roster   Roster
 	Modifier ModelModifier
 	Observer UpdateObserver
+	// Aggregator folds client updates into the applied gradient; nil means
+	// FedAvgMean (the paper's Eq. 1). The server owns its lifecycle: Reset
+	// at round start, Add per update, Finalize at round end — all from one
+	// goroutine.
+	Aggregator Aggregator
 
 	rng *rand.Rand
 }
@@ -95,8 +124,8 @@ func NewServer(cfg ServerConfig, model *nn.Sequential, roster Roster) *Server {
 }
 
 // Run executes the configured number of rounds: sample M clients, dispatch
-// the (possibly maliciously modified) model, collect updates, average
-// gradients, and apply the FedSGD step wᵗ⁺¹ = wᵗ − η·ḡ (Eq. 1).
+// the (possibly maliciously modified) model concurrently, aggregate updates,
+// and apply the step wᵗ⁺¹ = wᵗ − η·ḡ (Eq. 1 with ḡ from the Aggregator).
 func (s *Server) Run(ctx context.Context) (History, error) {
 	var hist History
 	for round := 0; round < s.Config.Rounds; round++ {
@@ -107,6 +136,13 @@ func (s *Server) Run(ctx context.Context) (History, error) {
 		hist.Rounds = append(hist.Rounds, stats)
 	}
 	return hist, nil
+}
+
+// roundResult pairs one selected client's outcome with nothing else; the
+// slice index carries the selection order.
+type roundResult struct {
+	update Update
+	err    error
 }
 
 func (s *Server) runRound(ctx context.Context, round int) (RoundStats, error) {
@@ -136,22 +172,37 @@ func (s *Server) runRound(ctx context.Context, round int) (RoundStats, error) {
 		}
 	}
 
+	// Merge runs on the server goroutine only, in selection order: observer
+	// taps, failure accounting, and aggregation all see the same
+	// deterministic sequence the sequential engine produced, so History is
+	// bit-identical for any Workers value. Streaming the merge (folding
+	// each result as soon as its selection-order prefix is complete) keeps
+	// peak memory near O(model) for streaming aggregators instead of
+	// buffering every selected client's gradients.
+	agg := s.Aggregator
+	if agg == nil {
+		agg = NewFedAvgMean()
+	}
+	agg.Reset()
 	stats := RoundStats{Round: round}
-	var sum []*tensor.Tensor
 	lossSum := 0.0
-	var firstErr error
-	for _, c := range selected {
-		update, err := c.HandleRound(ctx, RoundRequest{Round: round, Model: dispatched})
-		if err != nil {
+	var firstErr, mergeErr error
+	// merge folds one selection-order result; returning false aborts the
+	// round (dispatch stops feeding results and cancels outstanding work).
+	merge := func(i int, res roundResult) bool {
+		c := selected[i]
+		if res.err != nil {
 			if !s.Config.TolerateFailures {
-				return RoundStats{}, fmt.Errorf("fl: round %d client %s: %w", round, c.ID(), err)
+				mergeErr = fmt.Errorf("fl: round %d client %s: %w", round, c.ID(), res.err)
+				return false
 			}
 			if firstErr == nil {
-				firstErr = err
+				firstErr = res.err
 			}
 			stats.Failed = append(stats.Failed, c.ID())
-			continue
+			return true
 		}
+		update := res.update
 		if s.Observer != nil {
 			s.Observer.Observe(round, update)
 		}
@@ -160,37 +211,36 @@ func (s *Server) runRound(ctx context.Context, round int) (RoundStats, error) {
 		for _, g := range update.Grads {
 			stats.UpdateBytes += g.Len()
 		}
-		if sum == nil {
-			sum = make([]*tensor.Tensor, len(update.Grads))
-			for i, g := range update.Grads {
-				sum[i] = g.Clone()
-			}
-			continue
+		if err := agg.Add(update); err != nil {
+			mergeErr = fmt.Errorf("fl: round %d: %w", round, err)
+			return false
 		}
-		if len(update.Grads) != len(sum) {
-			return RoundStats{}, fmt.Errorf("fl: round %d client %s returned %d gradient tensors, want %d",
-				round, update.ClientID, len(update.Grads), len(sum))
-		}
-		for i, g := range update.Grads {
-			sum[i].AddInPlace(g)
-		}
+		return true
+	}
+
+	s.dispatch(ctx, round, selected, dispatched, merge)
+	if mergeErr != nil {
+		return RoundStats{}, mergeErr
 	}
 	ok := len(stats.Clients)
 	if ok == 0 {
 		return RoundStats{}, fmt.Errorf("fl: round %d: every selected client failed: %w", round, firstErr)
 	}
-	m = ok
-	stats.MeanLoss = lossSum / float64(m)
+	stats.MeanLoss = lossSum / float64(ok)
+
+	aggregated, err := agg.Finalize()
+	if err != nil {
+		return RoundStats{}, fmt.Errorf("fl: round %d: %w", round, err)
+	}
 
 	// When the dispatched model matches the global architecture, apply the
-	// averaged-gradient step (a dishonest server that swapped the model is
+	// aggregated-gradient step (a dishonest server that swapped the model is
 	// only pretending to train; its "update" cannot be applied).
 	params := s.Model.Params()
-	if gradsMatchParams(params, sum) {
-		inv := 1.0 / float64(m)
+	if gradsMatchParams(params, aggregated) {
 		normSq := 0.0
 		for i, p := range params {
-			g := sum[i].Scale(inv)
+			g := aggregated[i]
 			n := g.L2Norm()
 			normSq += n * n
 			p.W.AddScaledInPlace(-s.Config.LearningRate, g)
@@ -198,6 +248,89 @@ func (s *Server) runRound(ctx context.Context, round int) (RoundStats, error) {
 		stats.GradNorm = math.Sqrt(normSq)
 	}
 	return stats, nil
+}
+
+// indexedResult carries one worker's outcome back to the merging goroutine
+// tagged with its selection-order position.
+type indexedResult struct {
+	i   int
+	res roundResult
+}
+
+// dispatch runs HandleRound for every selected client through a bounded
+// worker pool, calling merge(i, result) on the caller's goroutine in strict
+// selection order. Results that complete out of order are parked until
+// their selection-order prefix is complete, so a streaming Aggregator folds
+// each update as early as determinism allows. When merge returns false the
+// round is doomed: the sequential path stops dispatching, and the
+// concurrent path cancels the clients still in flight (it still drains
+// every worker, discarding their results, before returning) — either way
+// the merged prefix, and hence the reported error, is identical.
+func (s *Server) dispatch(ctx context.Context, round int, selected []Client, spec ModelSpec,
+	merge func(int, roundResult) bool) {
+	workers := s.Config.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(selected) {
+		workers = len(selected)
+	}
+	if workers <= 1 {
+		for i, c := range selected {
+			u, err := c.HandleRound(ctx, RoundRequest{Round: round, Model: spec})
+			if !merge(i, roundResult{update: u, err: err}) {
+				return
+			}
+		}
+		return
+	}
+	roundCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	jobs := make(chan int, len(selected))
+	for i := range selected {
+		jobs <- i
+	}
+	close(jobs)
+	// Buffered to len(selected): workers never block on delivery, so the
+	// merging goroutine below can drain at its own pace without deadlock.
+	done := make(chan indexedResult, len(selected))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				// Skip jobs still queued after the round aborted; a result
+				// is delivered regardless so the drain accounting holds.
+				if err := roundCtx.Err(); err != nil {
+					done <- indexedResult{i: i, res: roundResult{err: err}}
+					continue
+				}
+				u, err := selected[i].HandleRound(roundCtx, RoundRequest{Round: round, Model: spec})
+				done <- indexedResult{i: i, res: roundResult{update: u, err: err}}
+			}
+		}()
+	}
+	pending := make(map[int]roundResult, workers)
+	next := 0
+	aborted := false
+	for received := 0; received < len(selected); received++ {
+		ir := <-done
+		if aborted {
+			continue
+		}
+		pending[ir.i] = ir.res
+		for res, ok := pending[next]; ok; res, ok = pending[next] {
+			delete(pending, next)
+			if !merge(next, res) {
+				aborted = true
+				cancel() // stop training clients for a doomed round
+				break
+			}
+			next++
+		}
+	}
+	wg.Wait()
 }
 
 // gradsMatchParams reports whether every aggregated tensor matches the

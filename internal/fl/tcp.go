@@ -149,6 +149,9 @@ func (s *TCPServer) WaitForClients(ctx context.Context, n int) error {
 }
 
 // Close sends goodbyes and tears down all connections and the listener.
+// Each goodbye is serialized against any in-flight HandleRound on the same
+// connection: gob encoders are not safe for concurrent Encode calls, and
+// with a concurrent round engine a worker may still be mid-exchange.
 func (s *TCPServer) Close() error {
 	s.mu.Lock()
 	s.closed = true
@@ -159,13 +162,19 @@ func (s *TCPServer) Close() error {
 	s.clients = map[string]*remoteClient{}
 	s.mu.Unlock()
 	for _, c := range clients {
+		c.mu.Lock()
 		_ = c.enc.Encode(wireServerMsg{Goodbye: true})
+		c.mu.Unlock()
 		_ = c.conn.Close()
 	}
 	return s.ln.Close()
 }
 
-// remoteClient is the server-side proxy for one TCP client.
+// remoteClient is the server-side proxy for one TCP client. mu serializes
+// every use of the connection's gob encoder/decoder pair — HandleRound
+// exchanges and the Close-time goodbye — so a remoteClient satisfies the
+// Client concurrency contract even though the worker pool dispatches
+// different remote clients from different goroutines.
 type remoteClient struct {
 	id      string
 	conn    net.Conn
@@ -180,16 +189,25 @@ var _ Client = (*remoteClient)(nil)
 // ID returns the client's self-reported identifier.
 func (c *remoteClient) ID() string { return c.id }
 
-// HandleRound performs one synchronous dispatch/reply exchange.
+// HandleRound performs one synchronous dispatch/reply exchange. Context
+// cancellation is honored mid-exchange by forcing an immediate connection
+// deadline; the interrupted gob stream is unusable afterwards, which is
+// fine — cancellation means the run (or at least this round) is over, and
+// a reconnecting client re-registers through the normal handshake.
 func (c *remoteClient) HandleRound(ctx context.Context, req RoundRequest) (Update, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return Update{}, fmt.Errorf("fl: dispatch to %s: %w", c.id, err)
+	}
 	deadline := time.Now().Add(c.timeout)
 	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
 		deadline = d
 	}
 	_ = c.conn.SetDeadline(deadline)
 	defer c.conn.SetDeadline(time.Time{})
+	stop := context.AfterFunc(ctx, func() { _ = c.conn.SetDeadline(time.Now()) })
+	defer stop()
 	if err := c.enc.Encode(wireServerMsg{Round: req}); err != nil {
 		return Update{}, fmt.Errorf("fl: dispatch to %s: %w", c.id, err)
 	}
