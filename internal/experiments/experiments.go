@@ -104,6 +104,7 @@ func Registry() []Spec {
 		{ID: "dp", Title: "Ablation: DP noise vs reconstruction and utility (§V)", Run: DPTradeoff},
 		{ID: "pm", Title: "Ablation: mean restoration in OASIS transforms", Run: PreserveMean},
 		{ID: "robust", Title: "Scenario: robust aggregation under a poisoning client", Run: Robust},
+		{ID: "scenario", Title: "Scenario: declarative large-scale FL populations (internal/sim presets)", Run: ScenarioSim},
 	}
 }
 

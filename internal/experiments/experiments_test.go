@@ -12,7 +12,7 @@ import (
 func quickCfg() Config { return Config{Quick: true, Seed: 42} }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"fig2", "fig3", "fig4", "fig5", "fig6", "visual", "fig13", "fig14", "table1", "prop1", "dp", "pm", "robust"}
+	want := []string{"fig2", "fig3", "fig4", "fig5", "fig6", "visual", "fig13", "fig14", "table1", "prop1", "dp", "pm", "robust", "scenario"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(got), len(want))
@@ -50,6 +50,9 @@ func meanFor(t *testing.T, res *Result, dataset, policy string) float64 {
 }
 
 func TestFig5Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep; smoke tier covers the scenario preset")
+	}
 	res, err := Fig5(quickCfg())
 	if err != nil {
 		t.Fatal(err)
@@ -75,6 +78,9 @@ func TestFig5Shape(t *testing.T) {
 }
 
 func TestFig6Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep; smoke tier covers the scenario preset")
+	}
 	res, err := Fig6(quickCfg())
 	if err != nil {
 		t.Fatal(err)
@@ -95,6 +101,9 @@ func TestFig6Shape(t *testing.T) {
 }
 
 func TestFig13Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep; smoke tier covers the scenario preset")
+	}
 	res, err := Fig13(quickCfg())
 	if err != nil {
 		t.Fatal(err)
@@ -144,6 +153,9 @@ func TestFig14Shape(t *testing.T) {
 }
 
 func TestFig3GridMonotoneInBatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep; smoke tier covers the scenario preset")
+	}
 	res, err := Fig3(quickCfg())
 	if err != nil {
 		t.Fatal(err)
@@ -168,6 +180,9 @@ func TestFig3GridMonotoneInBatch(t *testing.T) {
 }
 
 func TestTable1Runs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep; smoke tier covers the scenario preset")
+	}
 	res, err := Table1(quickCfg())
 	if err != nil {
 		t.Fatal(err)
@@ -220,6 +235,9 @@ func TestProp1Shape(t *testing.T) {
 }
 
 func TestDPTradeoffShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep; smoke tier covers the scenario preset")
+	}
 	res, err := DPTradeoff(quickCfg())
 	if err != nil {
 		t.Fatal(err)
@@ -302,6 +320,9 @@ func TestArtifactsWritten(t *testing.T) {
 }
 
 func TestVisualRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep; smoke tier covers the scenario preset")
+	}
 	res, err := Visual(Config{Quick: true, Seed: 42, OutDir: t.TempDir()})
 	if err != nil {
 		t.Fatal(err)
@@ -349,5 +370,26 @@ func TestRobustShape(t *testing.T) {
 		if r := finalLoss(agg + "/true"); r >= meanPoisoned {
 			t.Errorf("%s (%.4f) not better than poisoned mean (%.4f)", agg, r, meanPoisoned)
 		}
+	}
+}
+
+// TestScenarioExperiment runs the registry's scenario entry (the smoke
+// preset in quick mode) and checks its summary table shape.
+func TestScenarioExperiment(t *testing.T) {
+	res, err := ScenarioSim(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tables) < 2 {
+		t.Fatalf("want summary + per-round tables, got %d", len(res.Tables))
+	}
+	summary := res.Tables[0]
+	if len(summary.Rows) != 1 || summary.Rows[0][0] != "smoke" {
+		t.Fatalf("quick scenario summary rows %v, want one smoke row", summary.Rows)
+	}
+	part := strings.TrimSuffix(summary.Rows[0][4], "%")
+	v, err := strconv.ParseFloat(part, 64)
+	if err != nil || v <= 0 || v > 100 {
+		t.Errorf("participation cell %q out of range", summary.Rows[0][4])
 	}
 }

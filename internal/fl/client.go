@@ -107,6 +107,10 @@ func NewLocalClient(name string, shard data.Dataset, batchSize int, rng *rand.Ra
 // ID returns the client identifier.
 func (c *LocalClient) ID() string { return c.Name }
 
+// NumSamples reports the local shard size (SizedClient, for size-weighted
+// client sampling).
+func (c *LocalClient) NumSamples() int { return c.Shard.Len() }
+
 // HandleRound materializes the dispatched model, computes gradients (or a
 // FedAvg pseudo-gradient) on fresh local batches and returns the update.
 func (c *LocalClient) HandleRound(ctx context.Context, req RoundRequest) (Update, error) {

@@ -1,0 +1,115 @@
+package fl
+
+import (
+	"fmt"
+	rand "math/rand/v2"
+)
+
+// ClientSampler picks which of the connected clients participate in a round.
+// Assign to Server.Sampler; nil reproduces the historical behavior (uniform
+// without replacement), so existing runs stay bit-identical.
+//
+// Sample is called once per round on the server goroutine with the server's
+// own deterministic rng; implementations must draw all randomness from that
+// rng (and nothing else) to keep runs reproducible across worker counts.
+type ClientSampler interface {
+	// Name labels the sampling strategy for logs and reports.
+	Name() string
+	// Sample returns m clients drawn from clients (0 ≥ m or m > len means
+	// all, in an implementation-chosen order).
+	Sample(round int, clients []Client, m int, rng *rand.Rand) []Client
+}
+
+// SizedClient is optionally implemented by clients that can report how many
+// local samples they hold; SizeWeightedSampler uses it for proportional
+// selection (clients that don't implement it weigh as 1 sample).
+type SizedClient interface {
+	NumSamples() int
+}
+
+// NewSamplerByName resolves a sampling strategy: "uniform" (each client
+// equally likely) or "size" (probability proportional to local dataset
+// size, the FedAvg-paper weighting).
+func NewSamplerByName(name string) (ClientSampler, error) {
+	switch name {
+	case "", "uniform":
+		return UniformSampler{}, nil
+	case "size":
+		return SizeWeightedSampler{}, nil
+	default:
+		return nil, fmt.Errorf("fl: unknown client sampler %q (want uniform or size)", name)
+	}
+}
+
+// SamplerNames lists the strategies NewSamplerByName accepts.
+func SamplerNames() []string { return []string{"uniform", "size"} }
+
+// UniformSampler draws m clients uniformly without replacement — exactly the
+// policy the server applies when no Sampler is set.
+type UniformSampler struct{}
+
+var _ ClientSampler = UniformSampler{}
+
+// Name returns "uniform".
+func (UniformSampler) Name() string { return "uniform" }
+
+// Sample permutes the roster and takes the first m entries.
+func (UniformSampler) Sample(_ int, clients []Client, m int, rng *rand.Rand) []Client {
+	if m <= 0 || m > len(clients) {
+		m = len(clients)
+	}
+	perm := rng.Perm(len(clients))
+	selected := make([]Client, 0, m)
+	for _, idx := range perm[:m] {
+		selected = append(selected, clients[idx])
+	}
+	return selected
+}
+
+// SizeWeightedSampler draws m clients without replacement with probability
+// proportional to their local dataset size (SizedClient), so data-rich
+// clients participate more often — the cross-device regime's standard
+// counterweight to quantity skew.
+type SizeWeightedSampler struct{}
+
+var _ ClientSampler = SizeWeightedSampler{}
+
+// Name returns "size".
+func (SizeWeightedSampler) Name() string { return "size" }
+
+// Sample performs successive weighted draws without replacement.
+func (SizeWeightedSampler) Sample(_ int, clients []Client, m int, rng *rand.Rand) []Client {
+	if m <= 0 || m > len(clients) {
+		m = len(clients)
+	}
+	weights := make([]float64, len(clients))
+	remaining := 0.0
+	for i, c := range clients {
+		w := 1.0
+		if sc, ok := c.(SizedClient); ok && sc.NumSamples() > 0 {
+			w = float64(sc.NumSamples())
+		}
+		weights[i] = w
+		remaining += w
+	}
+	selected := make([]Client, 0, m)
+	taken := make([]bool, len(clients))
+	for len(selected) < m {
+		r := rng.Float64() * remaining
+		pick := -1
+		for i, w := range weights {
+			if taken[i] {
+				continue
+			}
+			pick = i
+			r -= w
+			if r < 0 {
+				break
+			}
+		}
+		taken[pick] = true
+		remaining -= weights[pick]
+		selected = append(selected, clients[pick])
+	}
+	return selected
+}

@@ -7,6 +7,7 @@ import (
 	rand "math/rand/v2"
 	"runtime"
 	"sync"
+	"time"
 
 	"github.com/oasisfl/oasis/internal/nn"
 	"github.com/oasisfl/oasis/internal/tensor"
@@ -63,6 +64,21 @@ type ServerConfig struct {
 	// randomized augmentation policy) must set Workers to 1 or synchronize
 	// that state — see the Client concurrency contract.
 	Workers int
+	// RoundDeadline bounds one round's wall-clock time (0 = none): the
+	// dispatch context expires after it, so cooperative clients still in
+	// flight return ctx errors and are counted as failures instead of
+	// stalling the round. Combine with TolerateFailures to aggregate the
+	// updates that did arrive in time. Note that a wall-clock deadline makes
+	// a run timing-dependent; simulations wanting reproducible lateness
+	// should model delays virtually (see internal/sim) and keep this as a
+	// safety net only.
+	RoundDeadline time.Duration
+	// AllowEmptyRounds records a round in which every selected client failed
+	// (dropout, deadline, errors) as a zero-participant RoundStats and moves
+	// on, rather than aborting the run. The global model is untouched in
+	// such a round. Requires TolerateFailures semantics for the individual
+	// failures to be tolerated in the first place.
+	AllowEmptyRounds bool
 }
 
 // RoundStats records one round's aggregate outcome.
@@ -98,6 +114,14 @@ type Server struct {
 	Roster   Roster
 	Modifier ModelModifier
 	Observer UpdateObserver
+	// Sampler picks each round's participants; nil keeps the historical
+	// uniform-without-replacement draw bit for bit.
+	Sampler ClientSampler
+	// AfterRound, when set, is invoked on the server goroutine after each
+	// round's step has been applied — a hook for per-round evaluation,
+	// logging, or checkpointing. It sees the final RoundStats and may read
+	// the Model (no round is in flight while it runs).
+	AfterRound func(round int, stats RoundStats)
 	// Aggregator folds client updates into the applied gradient; nil means
 	// FedAvgMean (the paper's Eq. 1). The server owns its lifecycle: Reset
 	// at round start, Add per update, Finalize at round end — all from one
@@ -134,6 +158,9 @@ func (s *Server) Run(ctx context.Context) (History, error) {
 			return hist, err
 		}
 		hist.Rounds = append(hist.Rounds, stats)
+		if s.AfterRound != nil {
+			s.AfterRound(round, stats)
+		}
 	}
 	return hist, nil
 }
@@ -154,10 +181,15 @@ func (s *Server) runRound(ctx context.Context, round int) (RoundStats, error) {
 	if m <= 0 || m > len(clients) {
 		m = len(clients)
 	}
-	perm := s.rng.Perm(len(clients))
-	selected := make([]Client, 0, m)
-	for _, idx := range perm[:m] {
-		selected = append(selected, clients[idx])
+	sampler := s.Sampler
+	if sampler == nil {
+		// UniformSampler performs exactly the historical rng operations, so
+		// the default selection stays bit-identical to older releases.
+		sampler = UniformSampler{}
+	}
+	selected := sampler.Sample(round, clients, m, s.rng)
+	if len(selected) == 0 {
+		return RoundStats{}, fmt.Errorf("fl: round %d: sampler %s selected no clients", round, sampler.Name())
 	}
 
 	spec, err := EncodeModel(s.Model)
@@ -224,6 +256,11 @@ func (s *Server) runRound(ctx context.Context, round int) (RoundStats, error) {
 	}
 	ok := len(stats.Clients)
 	if ok == 0 {
+		if s.Config.AllowEmptyRounds {
+			// Degrade instead of aborting: record the wiped-out round (the
+			// model is untouched) and let the run continue.
+			return stats, nil
+		}
 		return RoundStats{}, fmt.Errorf("fl: round %d: every selected client failed: %w", round, firstErr)
 	}
 	stats.MeanLoss = lossSum / float64(ok)
@@ -268,6 +305,11 @@ type indexedResult struct {
 // the merged prefix, and hence the reported error, is identical.
 func (s *Server) dispatch(ctx context.Context, round int, selected []Client, spec ModelSpec,
 	merge func(int, roundResult) bool) {
+	if d := s.Config.RoundDeadline; d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
 	workers := s.Config.Workers
 	if workers <= 0 {
 		workers = runtime.NumCPU()

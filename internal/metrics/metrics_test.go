@@ -1,7 +1,9 @@
 package metrics
 
 import (
+	"encoding/csv"
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -111,6 +113,34 @@ func TestTableCSV(t *testing.T) {
 	csv := tb.CSV()
 	if csv != "a,b\n1,2\n" {
 		t.Errorf("CSV = %q", csv)
+	}
+}
+
+// TestTableCSVEscaping: cells holding commas, quotes, or newlines must be
+// quoted so they round-trip through a standard CSV reader.
+func TestTableCSVEscaping(t *testing.T) {
+	tb := NewTable("demo", "name", "note")
+	tb.AddRow("dirichlet:0.1, skewed", `she said "go"`)
+	tb.AddRow("multi\nline", "plain")
+	got := tb.CSV()
+	want := "name,note\n" +
+		"\"dirichlet:0.1, skewed\",\"she said \"\"go\"\"\"\n" +
+		"\"multi\nline\",plain\n"
+	if got != want {
+		t.Fatalf("CSV escaping wrong:\n got %q\nwant %q", got, want)
+	}
+	// And the standard library parses it back to the original cells.
+	recs, err := csv.NewReader(strings.NewReader(got)).ReadAll()
+	if err != nil {
+		t.Fatalf("encoding/csv cannot parse our output: %v", err)
+	}
+	wantRecs := [][]string{
+		{"name", "note"},
+		{"dirichlet:0.1, skewed", `she said "go"`},
+		{"multi\nline", "plain"},
+	}
+	if !reflect.DeepEqual(recs, wantRecs) {
+		t.Errorf("round trip mismatch:\n got %q\nwant %q", recs, wantRecs)
 	}
 }
 

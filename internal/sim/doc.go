@@ -1,0 +1,72 @@
+// Package sim is the declarative scenario engine: it turns a Scenario spec
+// (constructed in Go or decoded from JSON) into a fully materialized
+// federated population — hundreds to thousands of clients over non-IID
+// shards, with dropout, stragglers, partial defense coverage and a scheduled
+// dishonest server — drives the concurrent fl round engine over it, and
+// emits a structured, deterministic Report.
+//
+// # Spec schema
+//
+// A scenario is one JSON object; omitted fields take the defaults noted:
+//
+//	{
+//	  "name": "my-scenario",
+//	  "seed": 42,
+//	  "clients": 1000,                 // population size
+//	  "rounds": 8,
+//	  "clients_per_round": 50,         // 0 = all clients every round
+//	  "batch_size": 4,                 // default 8
+//	  "local_steps": 1,                // >1 = FedAvg local training
+//	  "learning_rate": 0.05,
+//	  "dataset": {                     // synthetic dataset geometry
+//	    "classes": 10, "channels": 1, "height": 8, "width": 8, "samples": 4000
+//	  },
+//	  "partition": "dirichlet:0.1",    // iid | dirichlet[:alpha] | quantity[:sigma]
+//	  "sampling": "size",              // uniform | size (weighted by shard size)
+//	  "aggregator": "mean",            // mean | median | trimmed[:f] | normclip[:m]
+//	  "deadline_ms": 120,              // virtual round deadline; 0 = wait forever
+//	  "dropout": 0.1,                  // per-client per-round dropout probability
+//	  "straggler": {                   // slow-tail model
+//	    "fraction": 0.2,               // share of clients that straggle
+//	    "mean_delay_ms": 60,           // exponential mean extra delay
+//	    "base_delay_ms": 5             // floor everyone pays
+//	  },
+//	  "defense": {
+//	    "kind": "oasis:MR",            // oasis:<policy> | dpsgd:<clip>,<sigma>
+//	    "fraction": 0.3                // share of clients defended
+//	  },
+//	  "attack": {
+//	    "kind": "rtf",                 // rtf | cah | "" (honest server)
+//	    "neurons": 48,
+//	    "first_round": 1, "last_round": 2,   // burst window (inclusive), or
+//	    "rounds": [1, 3]                     // explicit strike rounds
+//	  },
+//	  "model": {"kind": "mlp", "hidden": 32},    // mlp | resnet
+//	  "eval_every": 4,                 // accuracy eval cadence; 0 = final only
+//	  "test_samples": 128,
+//	  "real_time": false               // sleep straggler delays for real
+//	}
+//
+// Unknown fields are rejected, so typos fail instead of silently running a
+// different experiment.
+//
+// # Determinism
+//
+// Every stochastic choice — partitioning, defense and straggler assignment,
+// per-round dropout and delays, attack calibration, client sampling, local
+// batches — is drawn from PCG streams keyed by the scenario seed and stable
+// identities (client index, round number), never by scheduling order or
+// wall clock, and timing in the Report is a virtual clock computed from the
+// drawn delays. A scenario therefore produces a bit-identical Report for
+// every Options.Workers value; only real elapsed time changes.
+//
+// # Failure semantics
+//
+// Dropped clients, stragglers past the virtual deadline, and erroring
+// clients degrade a round — their updates are skipped, participation is
+// recorded, and aggregation proceeds over what arrived — and a round lost
+// entirely is recorded with zero participants rather than aborting the run
+// (fl.ServerConfig.TolerateFailures + AllowEmptyRounds underneath).
+//
+// See cmd/oasis-sim for the CLI and Presets for ready-made populations.
+package sim

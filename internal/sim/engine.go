@@ -1,0 +1,455 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	rand "math/rand/v2"
+	"time"
+
+	"github.com/oasisfl/oasis/internal/attack"
+	"github.com/oasisfl/oasis/internal/core"
+	"github.com/oasisfl/oasis/internal/data"
+	"github.com/oasisfl/oasis/internal/defense"
+	"github.com/oasisfl/oasis/internal/fl"
+	"github.com/oasisfl/oasis/internal/metrics"
+	"github.com/oasisfl/oasis/internal/nn"
+	"github.com/oasisfl/oasis/internal/tensor"
+)
+
+// Options tunes how a scenario executes without changing what it describes.
+type Options struct {
+	// Quick caps the run for CI: at most quickMaxRounds rounds, small eval
+	// sets, and no real-time sleeping. Presets keep their attack bursts
+	// inside the first five rounds so Quick still exercises them.
+	Quick bool
+	// Workers bounds client concurrency per round (fl.ServerConfig.Workers);
+	// the Report is bit-identical for every value.
+	Workers int
+	// Log receives per-round progress lines; nil discards them.
+	Log io.Writer
+}
+
+// quickMaxRounds is the round cap Options.Quick applies.
+const quickMaxRounds = 5
+
+func (o Options) logf(format string, args ...any) {
+	if o.Log != nil {
+		fmt.Fprintf(o.Log, format+"\n", args...)
+	}
+}
+
+// Run materializes the scenario's population, drives the concurrent round
+// engine over it, and returns the structured report. For a fixed scenario
+// the report is bit-identical across Options.Workers values: all randomness
+// is drawn from seeded streams keyed by stable identities and all timing is
+// virtual.
+func Run(sc Scenario, opts Options) (*Report, error) {
+	sc, err := sc.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	if opts.Quick {
+		if sc.Rounds > quickMaxRounds {
+			sc.Rounds = quickMaxRounds
+		}
+		if sc.TestSamples > 64 {
+			sc.TestSamples = 64
+		}
+		sc.RealTime = false
+		if err := sc.Validate(); err != nil {
+			return nil, fmt.Errorf("sim: quick mode (≤%d rounds): %w", quickMaxRounds, err)
+		}
+	}
+	return run(sc, opts)
+}
+
+func run(sc Scenario, opts Options) (*Report, error) {
+	d := sc.Dataset
+	trainDS := data.NewSynthCustom(sc.Name+"-train", d.Classes, d.Channels, d.Height, d.Width, d.Samples, sc.Seed)
+	testDS := data.NewSynthCustom(sc.Name+"-test", d.Classes, d.Channels, d.Height, d.Width, sc.TestSamples, sc.Seed^0x7e57)
+
+	// One scenario-level stream drives population construction (partition,
+	// defense and straggler assignment, attack calibration); per-client
+	// training streams are keyed by client index below.
+	rng := nn.RandSource(sc.Seed, 0x5c3a_12f0)
+
+	partitioner, err := data.NewPartitioner(sc.Partition)
+	if err != nil {
+		return nil, err
+	}
+	parts, err := partitioner.Partition(trainDS, sc.Clients, rng)
+	if err != nil {
+		return nil, err
+	}
+
+	var defSpec defenseSpec
+	defended := make([]bool, sc.Clients)
+	nDefended := 0
+	if sc.Defense.Kind != "" {
+		defSpec, err = parseDefense(sc.Defense.Kind)
+		if err != nil {
+			return nil, err
+		}
+		nDefended = int(math.Round(sc.Defense.Fraction * float64(sc.Clients)))
+		for _, idx := range rng.Perm(sc.Clients)[:nDefended] {
+			defended[idx] = true
+		}
+	}
+	stragglers := make([]bool, sc.Clients)
+	nStragglers := int(math.Round(sc.Straggler.Fraction * float64(sc.Clients)))
+	for _, idx := range rng.Perm(sc.Clients)[:nStragglers] {
+		stragglers[idx] = true
+	}
+
+	roster := fl.NewMemoryRoster()
+	population := make([]*simClient, sc.Clients)
+	for i := 0; i < sc.Clients; i++ {
+		shard := data.NewSubset(trainDS, parts[i], fmt.Sprintf("%s-shard-%d", sc.Name, i))
+		lc := fl.NewLocalClient(fmt.Sprintf("client-%04d", i), shard, sc.BatchSize, nn.RandSource(sc.Seed+1, uint64(i)))
+		lc.LocalSteps = sc.LocalSteps
+		rec := &batchRecorder{}
+		if defended[i] {
+			switch defSpec.kind {
+			case "oasis":
+				rec.inner = core.New(defSpec.policy)
+			case "dpsgd":
+				gd, err := defense.NewDPSGD(defSpec.clip, defSpec.sigma, nn.RandSource(sc.Seed+2, uint64(i)))
+				if err != nil {
+					return nil, err
+				}
+				lc.GradDef = gd
+			}
+		}
+		lc.Pre = rec
+		population[i] = &simClient{
+			inner:      lc,
+			index:      i,
+			seed:       sc.Seed,
+			record:     rec,
+			dropout:    sc.Dropout,
+			straggler:  stragglers[i],
+			baseMS:     sc.Straggler.BaseDelayMS,
+			meanMS:     sc.Straggler.MeanDelayMS,
+			deadlineMS: sc.DeadlineMS,
+			realTime:   sc.RealTime,
+			outcomes:   make(map[int]*roundOutcome, sc.Rounds),
+		}
+		roster.Add(population[i])
+	}
+
+	model, flatInput, err := buildModel(sc, trainDS)
+	if err != nil {
+		return nil, err
+	}
+
+	cfg := fl.ServerConfig{
+		Rounds:           sc.Rounds,
+		ClientsPerRound:  sc.ClientsPerRound,
+		LearningRate:     sc.LearningRate,
+		Seed:             sc.Seed,
+		Workers:          opts.Workers,
+		TolerateFailures: true,
+		AllowEmptyRounds: true,
+	}
+	if sc.RealTime && sc.DeadlineMS > 0 {
+		// Wall-clock safety net, well above the virtual deadline so it only
+		// fires for genuinely wedged clients, never for simulated delays.
+		cfg.RoundDeadline = time.Duration(4*sc.DeadlineMS) * time.Millisecond
+	}
+	server := fl.NewServer(cfg, model, roster)
+	server.Sampler, err = fl.NewSamplerByName(sc.Sampling)
+	if err != nil {
+		return nil, err
+	}
+	server.Aggregator, err = fl.NewAggregatorByName(sc.Aggregator)
+	if err != nil {
+		return nil, err
+	}
+
+	var sched *scheduledAttack
+	if sc.Attack.Kind != "" {
+		sched, err = buildAttack(sc, trainDS, nn.RandSource(sc.Seed+3, 0xa77ac))
+		if err != nil {
+			return nil, err
+		}
+		for _, c := range population {
+			c.attackActive = sc.Attack.Active
+		}
+		server.Modifier = sched
+		server.Observer = sched
+	}
+
+	report := &Report{
+		Scenario:   sc.Name,
+		Seed:       sc.Seed,
+		Clients:    sc.Clients,
+		Partition:  partitioner.Name(),
+		Sampler:    server.Sampler.Name(),
+		Aggregator: server.Aggregator.Name(),
+		Defense:    sc.Defense.Kind,
+		Defended:   nDefended,
+		Attack:     sc.Attack.Kind,
+		ShardSizes: shardStats(parts),
+	}
+	server.AfterRound = func(round int, stats fl.RoundStats) {
+		rr := collectRound(round, stats, population, sc.DeadlineMS)
+		rr.AttackActive = sc.Attack.Active(round)
+		if round == sc.Rounds-1 || (sc.EvalEvery > 0 && (round+1)%sc.EvalEvery == 0) {
+			rr.Evaluated = true
+			rr.Accuracy = evalAccuracy(model, testDS, flatInput, 32)
+		}
+		report.Rounds = append(report.Rounds, rr)
+		opts.logf("sim %s round %d/%d: %d/%d ok (%d drop, %d late), loss %.4f%s",
+			sc.Name, round+1, sc.Rounds, rr.Completed, rr.Selected, rr.Dropped, rr.Late,
+			rr.MeanLoss, attackMark(rr.AttackActive))
+	}
+
+	if _, err := server.Run(context.Background()); err != nil {
+		return nil, err
+	}
+	scoreAttack(report, sched, population)
+	summarize(report)
+	return report, nil
+}
+
+func attackMark(active bool) string {
+	if active {
+		return "  [ATTACK]"
+	}
+	return ""
+}
+
+// buildModel constructs the scenario's global model and reports whether it
+// consumes flattened input.
+func buildModel(sc Scenario, ds data.Dataset) (*nn.Sequential, bool, error) {
+	rng := nn.RandSource(sc.Seed+4, 0x30de1)
+	c, h, w := ds.Shape()
+	switch sc.Model.Kind {
+	case "mlp":
+		return nn.NewSequential(
+			nn.NewLinear("fc1", c*h*w, sc.Model.Hidden, rng),
+			nn.NewReLU("relu1"),
+			nn.NewLinear("fc2", sc.Model.Hidden, ds.NumClasses(), rng),
+		), true, nil
+	case "resnet":
+		return nn.NewResNetLite(nn.ResNetLiteConfig{
+			InChannels: c, NumClasses: ds.NumClasses(), Width: sc.Model.Hidden,
+		}, rng), false, nil
+	default:
+		return nil, false, fmt.Errorf("sim: unknown model kind %q", sc.Model.Kind)
+	}
+}
+
+// buildAttack calibrates the scheduled dishonest server.
+func buildAttack(sc Scenario, ds data.Dataset, rng *rand.Rand) (*scheduledAttack, error) {
+	c, h, w := ds.Shape()
+	dims := attack.ImageDims{C: c, H: h, W: w}
+	var (
+		srv *attack.DishonestServer
+		err error
+	)
+	switch sc.Attack.Kind {
+	case "rtf":
+		var atk *attack.RTF
+		atk, err = attack.NewRTF(dims, ds.NumClasses(), sc.Attack.Neurons, ds, rng, 256)
+		if err == nil {
+			srv, err = attack.NewRTFServer(atk, rng)
+		}
+	case "cah":
+		var atk *attack.CAH
+		atk, err = attack.NewCAH(dims, ds.NumClasses(), sc.Attack.Neurons, ds, rng, 256, sc.Attack.AnticipatedBatch)
+		if err == nil {
+			srv, err = attack.NewCAHServer(atk, rng)
+		}
+	default:
+		err = fmt.Errorf("sim: unknown attack kind %q", sc.Attack.Kind)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("sim: calibrate %s attack: %w", sc.Attack.Kind, err)
+	}
+	return &scheduledAttack{inner: srv, active: sc.Attack.Active}, nil
+}
+
+// scheduledAttack gates a DishonestServer behind the scenario's attack
+// schedule: outside active rounds the server is perfectly honest.
+type scheduledAttack struct {
+	inner  *attack.DishonestServer
+	active func(round int) bool
+}
+
+var (
+	_ fl.ModelModifier  = (*scheduledAttack)(nil)
+	_ fl.UpdateObserver = (*scheduledAttack)(nil)
+)
+
+// Modify swaps in the malicious model only on scheduled rounds.
+func (s *scheduledAttack) Modify(round int, spec fl.ModelSpec) (fl.ModelSpec, error) {
+	if !s.active(round) {
+		return spec, nil
+	}
+	return s.inner.Modify(round, spec)
+}
+
+// Name labels the scheduled attack.
+func (s *scheduledAttack) Name() string { return s.inner.Name() + "-scheduled" }
+
+// Observe inverts updates only on scheduled rounds.
+func (s *scheduledAttack) Observe(round int, u fl.Update) {
+	if s.active(round) {
+		s.inner.Observe(round, u)
+	}
+}
+
+// collectRound assembles one RoundReport from the server stats and the
+// population's per-round outcome records (iterated in client-index order,
+// so the result is scheduling-independent).
+func collectRound(round int, stats fl.RoundStats, population []*simClient, deadlineMS float64) RoundReport {
+	rr := RoundReport{
+		Round:    round,
+		MeanLoss: stats.MeanLoss,
+		GradNorm: stats.GradNorm,
+	}
+	for _, c := range population {
+		o, ok := c.outcomes[round]
+		if !ok {
+			continue // not selected this round
+		}
+		rr.Selected++
+		switch {
+		case o.dropped:
+			rr.Dropped++
+		case o.late:
+			rr.Late++
+		case o.completed:
+			rr.Completed++
+		default:
+			rr.Failed++
+		}
+		rr.VirtualMS = math.Max(rr.VirtualMS, o.waitedMS(deadlineMS))
+	}
+	// In RealTime mode the wall-clock safety net can cancel selected clients
+	// before their HandleRound ever runs, leaving no outcome record; the
+	// server still counted them in RoundStats.Failed. Reconcile so they stay
+	// visible instead of silently inflating participation. (Virtual-clock
+	// runs never hit this: every selected client records an outcome.)
+	if serverSelected := len(stats.Clients) + len(stats.Failed); serverSelected > rr.Selected {
+		missing := serverSelected - rr.Selected
+		rr.Selected += missing
+		rr.Failed += missing
+		if deadlineMS > 0 {
+			rr.VirtualMS = math.Max(rr.VirtualMS, deadlineMS)
+		}
+	}
+	return rr
+}
+
+// scoreAttack pairs the dishonest server's captures with the recorded
+// pre-defense batches and fills the per-round and total PSNR fields.
+func scoreAttack(report *Report, sched *scheduledAttack, population []*simClient) {
+	if sched == nil {
+		return
+	}
+	byID := make(map[string]*simClient, len(population))
+	for _, c := range population {
+		byID[c.ID()] = c
+	}
+	perRound := make(map[int][]float64)
+	reconPerRound := make(map[int]int)
+	var all []float64
+	caps := sched.inner.Captures()
+	for _, cap := range caps {
+		reconPerRound[cap.Round] += len(cap.Reconstructions)
+		report.AttackReconstructions += len(cap.Reconstructions)
+		c := byID[cap.ClientID]
+		if c == nil || len(cap.Reconstructions) == 0 {
+			continue
+		}
+		o := c.outcomes[cap.Round]
+		if o == nil || len(o.originals) == 0 {
+			continue
+		}
+		ev := attack.Evaluate(cap.Reconstructions, o.originals)
+		perRound[cap.Round] = append(perRound[cap.Round], ev.PSNRs...)
+		all = append(all, ev.PSNRs...)
+	}
+	report.AttackCaptures = len(caps)
+	report.AttackMeanPSNR = metrics.Mean(all)
+	for i := range report.Rounds {
+		r := report.Rounds[i].Round
+		report.Rounds[i].Reconstructions = reconPerRound[r]
+		report.Rounds[i].MeanPSNR = metrics.Mean(perRound[r])
+	}
+}
+
+// summarize fills the report's whole-run aggregates from its rounds.
+func summarize(report *Report) {
+	partSum := 0.0
+	for _, rr := range report.Rounds {
+		if rr.Selected > 0 {
+			partSum += float64(rr.Completed) / float64(rr.Selected)
+		}
+		report.TotalDropped += rr.Dropped
+		report.TotalLate += rr.Late
+		report.TotalFailed += rr.Failed
+		report.TotalVirtualMS += rr.VirtualMS
+	}
+	if n := len(report.Rounds); n > 0 {
+		report.MeanParticipation = partSum / float64(n)
+		last := report.Rounds[n-1]
+		report.FinalLoss = last.MeanLoss
+		report.FinalAccuracy = last.Accuracy
+	}
+}
+
+// shardStats summarizes the partition's shard sizes.
+func shardStats(parts [][]int) ShardStats {
+	st := ShardStats{Min: math.MaxInt}
+	total := 0
+	for _, p := range parts {
+		if len(p) < st.Min {
+			st.Min = len(p)
+		}
+		if len(p) > st.Max {
+			st.Max = len(p)
+		}
+		total += len(p)
+	}
+	if len(parts) > 0 {
+		st.Mean = float64(total) / float64(len(parts))
+	} else {
+		st.Min = 0
+	}
+	return st
+}
+
+// evalAccuracy measures held-out classification accuracy in inference mode.
+func evalAccuracy(model *nn.Sequential, ds data.Dataset, flat bool, batchSize int) float64 {
+	correct, total := 0.0, 0
+	for off := 0; off < ds.Len(); off += batchSize {
+		end := min(off+batchSize, ds.Len())
+		idx := make([]int, 0, end-off)
+		for i := off; i < end; i++ {
+			idx = append(idx, i)
+		}
+		batch, err := data.TakeBatch(ds, idx)
+		if err != nil {
+			return 0
+		}
+		var logits = model.Forward(batchInput(batch, flat), false)
+		correct += nn.Accuracy(logits, batch.Labels) * float64(batch.Size())
+		total += batch.Size()
+	}
+	if total == 0 {
+		return 0
+	}
+	return correct / float64(total)
+}
+
+func batchInput(b *data.Batch, flat bool) *tensor.Tensor {
+	if flat {
+		return b.Flatten()
+	}
+	return b.Tensor4D()
+}

@@ -1,0 +1,134 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"github.com/oasisfl/oasis/internal/metrics"
+)
+
+// RoundReport is one round of a scenario run, as the server experienced it.
+type RoundReport struct {
+	Round     int `json:"round"`
+	Selected  int `json:"selected"`
+	Completed int `json:"completed"`
+	Dropped   int `json:"dropped"`
+	Late      int `json:"late"`
+	Failed    int `json:"failed"` // failures other than dropout/lateness
+
+	MeanLoss float64 `json:"mean_loss"`
+	GradNorm float64 `json:"grad_norm"`
+	// VirtualMS is the round's simulated wall time: the slowest wait the
+	// server endured (stragglers up to the deadline), in milliseconds.
+	VirtualMS float64 `json:"virtual_ms"`
+
+	// Evaluated marks rounds where held-out accuracy was measured.
+	Evaluated bool    `json:"evaluated,omitempty"`
+	Accuracy  float64 `json:"accuracy,omitempty"`
+
+	// AttackActive marks rounds where the dishonest server struck.
+	AttackActive    bool    `json:"attack_active,omitempty"`
+	Reconstructions int     `json:"reconstructions,omitempty"`
+	MeanPSNR        float64 `json:"mean_psnr,omitempty"`
+}
+
+// ShardStats summarizes the materialized population's shard sizes.
+type ShardStats struct {
+	Min  int     `json:"min"`
+	Max  int     `json:"max"`
+	Mean float64 `json:"mean"`
+}
+
+// Report is the structured outcome of a scenario run. For a fixed scenario
+// seed it is bit-identical across worker counts: every stochastic choice is
+// drawn from seeded streams and every timing figure is virtual.
+type Report struct {
+	Scenario   string `json:"scenario"`
+	Seed       uint64 `json:"seed"`
+	Clients    int    `json:"clients"`
+	Partition  string `json:"partition"`
+	Sampler    string `json:"sampler"`
+	Aggregator string `json:"aggregator"`
+	Defense    string `json:"defense,omitempty"`
+	Defended   int    `json:"defended_clients,omitempty"`
+	Attack     string `json:"attack,omitempty"`
+
+	ShardSizes ShardStats    `json:"shard_sizes"`
+	Rounds     []RoundReport `json:"rounds"`
+
+	FinalLoss         float64 `json:"final_loss"`
+	FinalAccuracy     float64 `json:"final_accuracy"`
+	MeanParticipation float64 `json:"mean_participation"` // completed / selected, averaged over rounds
+	TotalDropped      int     `json:"total_dropped"`
+	TotalLate         int     `json:"total_late"`
+	TotalFailed       int     `json:"total_failed"`
+	TotalVirtualMS    float64 `json:"total_virtual_ms"`
+
+	AttackCaptures        int     `json:"attack_captures,omitempty"`
+	AttackReconstructions int     `json:"attack_reconstructions,omitempty"`
+	AttackMeanPSNR        float64 `json:"attack_mean_psnr,omitempty"`
+}
+
+// JSON renders the report as indented JSON.
+func (r *Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// Table renders the per-round trace as a metrics table.
+func (r *Report) Table() *metrics.Table {
+	t := metrics.NewTable(
+		fmt.Sprintf("Scenario %s: %d clients, partition %s, sampler %s, aggregator %s",
+			r.Scenario, r.Clients, r.Partition, r.Sampler, r.Aggregator),
+		"round", "selected", "ok", "drop", "late", "fail", "loss", "‖ḡ‖", "virt ms", "acc", "attack", "recon", "psnr")
+	for _, rr := range r.Rounds {
+		acc, att, psnr := "", "", ""
+		if rr.Evaluated {
+			acc = fmt.Sprintf("%.3f", rr.Accuracy)
+		}
+		if rr.AttackActive {
+			att = "strike"
+			psnr = fmt.Sprintf("%.1f", rr.MeanPSNR)
+		}
+		t.AddRow(
+			fmt.Sprintf("%d", rr.Round),
+			fmt.Sprintf("%d", rr.Selected),
+			fmt.Sprintf("%d", rr.Completed),
+			fmt.Sprintf("%d", rr.Dropped),
+			fmt.Sprintf("%d", rr.Late),
+			fmt.Sprintf("%d", rr.Failed),
+			fmt.Sprintf("%.4f", rr.MeanLoss),
+			fmt.Sprintf("%.4f", rr.GradNorm),
+			fmt.Sprintf("%.1f", rr.VirtualMS),
+			acc, att,
+			fmt.Sprintf("%d", rr.Reconstructions),
+			psnr,
+		)
+	}
+	return t
+}
+
+// String renders the table plus a summary block.
+func (r *Report) String() string {
+	var b strings.Builder
+	b.WriteString(r.Table().String())
+	fmt.Fprintf(&b, "shards: min %d / mean %.1f / max %d samples\n",
+		r.ShardSizes.Min, r.ShardSizes.Mean, r.ShardSizes.Max)
+	fmt.Fprintf(&b, "participation: %.1f%% mean (%d dropped, %d late, %d failed)\n",
+		100*r.MeanParticipation, r.TotalDropped, r.TotalLate, r.TotalFailed)
+	fmt.Fprintf(&b, "final: loss %.4f, accuracy %.3f, %.1f virtual s total\n",
+		r.FinalLoss, r.FinalAccuracy, r.TotalVirtualMS/1000)
+	if r.Attack != "" {
+		fmt.Fprintf(&b, "attack %s: %d captures, %d reconstructions, mean PSNR %.1f dB (defense %s on %d/%d clients)\n",
+			r.Attack, r.AttackCaptures, r.AttackReconstructions, r.AttackMeanPSNR,
+			orNone(r.Defense), r.Defended, r.Clients)
+	}
+	return b.String()
+}
+
+func orNone(s string) string {
+	if s == "" {
+		return "none"
+	}
+	return s
+}

@@ -1,0 +1,85 @@
+package oasis
+
+import (
+	"testing"
+)
+
+// TestShardDatasetRemainders: remainder samples are distributed instead of
+// dropped, and oversharding errors instead of panicking on zero-size shards.
+func TestShardDatasetRemainders(t *testing.T) {
+	ds := NewSynthDataset("shards", 4, 1, 8, 8, 10, 1)
+	shards, err := ShardDataset(ds, 3, NewRand(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, maxLen, minLen := 0, 0, ds.Len()
+	for _, s := range shards {
+		total += s.Len()
+		maxLen = max(maxLen, s.Len())
+		minLen = min(minLen, s.Len())
+	}
+	if total != ds.Len() {
+		t.Errorf("shards cover %d of %d samples; remainders dropped", total, ds.Len())
+	}
+	if maxLen-minLen > 1 {
+		t.Errorf("shard sizes spread %d–%d; want near-equal", minLen, maxLen)
+	}
+	if _, err := ShardDataset(ds, 11, NewRand(1, 2)); err == nil {
+		t.Error("expected error for more shards than samples")
+	}
+	if _, err := ShardDataset(ds, 0, NewRand(1, 2)); err == nil {
+		t.Error("expected error for zero shards")
+	}
+}
+
+// TestPartitionDatasetFacade drives a non-IID partition through the public
+// surface.
+func TestPartitionDatasetFacade(t *testing.T) {
+	ds := NewSynthDataset("noniid", 5, 1, 8, 8, 200, 2)
+	p, err := NewPartitioner("dirichlet:0.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards, err := PartitionDataset(ds, 8, p, NewRand(3, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) != 8 {
+		t.Fatalf("got %d shards, want 8", len(shards))
+	}
+	total := 0
+	for _, s := range shards {
+		if s.Len() == 0 {
+			t.Error("empty shard from PartitionDataset")
+		}
+		total += s.Len()
+	}
+	if total != ds.Len() {
+		t.Errorf("partition covers %d of %d samples", total, ds.Len())
+	}
+	if len(PartitionerNames()) == 0 || len(ClientSamplerNames()) == 0 {
+		t.Error("name listings empty")
+	}
+}
+
+// TestRunScenarioFacade runs a preset scenario through the public API.
+func TestRunScenarioFacade(t *testing.T) {
+	names := ScenarioPresets()
+	if len(names) == 0 {
+		t.Fatal("no scenario presets")
+	}
+	sc, ok := PresetScenario("smoke")
+	if !ok {
+		t.Fatal("smoke preset missing")
+	}
+	rep, err := RunScenario(sc, ScenarioOptions{Quick: true, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Clients != sc.Clients || len(rep.Rounds) == 0 {
+		t.Errorf("report shape wrong: %d clients, %d rounds", rep.Clients, len(rep.Rounds))
+	}
+	if _, ok := PresetScenario("nope"); ok {
+		t.Error("PresetScenario(nope) found")
+	}
+}
