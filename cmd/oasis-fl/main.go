@@ -27,6 +27,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
@@ -52,7 +53,7 @@ func run() error {
 		rounds   = flag.Int("rounds", 5, "FL rounds")
 		batch    = flag.Int("batch", 8, "client batch size")
 		defName  = flag.String("defense", "", "OASIS policy for clients (MR, mR, SH, HFlip, VFlip, MR+SH; empty = undefended)")
-		attackID = flag.String("attack", "", "dishonest server attack (rtf | cah; empty = honest)")
+		attackID = flag.String("attack", "", "dishonest server attack ("+strings.Join(oasis.AttackNames(), " | ")+"; empty = honest)")
 		seed     = flag.Uint64("seed", 42, "deterministic seed")
 		outDir   = flag.String("out", "", "directory for reconstruction montages (server side)")
 		workers  = flag.Int("workers", 0, "max clients trained concurrently per round (0 = NumCPU, 1 = sequential)")
@@ -157,28 +158,17 @@ func drive(ctx context.Context, roster oasis.FLRoster, opts driveOptions) error 
 	}
 
 	var dishonest *oasis.DishonestServer
-	switch attackID {
-	case "":
-	case "rtf":
-		atk, err := oasis.NewRTFAttack(ds, 300, rng)
+	if attackID != "" {
+		// The registry resolves the kind; unknown kinds error with the
+		// current list of families, so this never goes stale.
+		atk, err := oasis.NewAttack(attackID, ds, 300, 16, rng)
 		if err != nil {
 			return err
 		}
-		dishonest, err = oasis.NewRTFServer(atk, rng)
+		dishonest, err = oasis.NewAttackServer(atk, rng)
 		if err != nil {
 			return err
 		}
-	case "cah":
-		atk, err := oasis.NewCAHAttack(ds, 300, 16, rng)
-		if err != nil {
-			return err
-		}
-		dishonest, err = oasis.NewCAHServer(atk, rng)
-		if err != nil {
-			return err
-		}
-	default:
-		return fmt.Errorf("unknown attack %q (want rtf or cah)", attackID)
 	}
 	if dishonest != nil {
 		server.Modifier = dishonest

@@ -52,6 +52,12 @@ type (
 	MemoryRoster = fl.MemoryRoster
 	// TCPServer is the TCP/gob transport's listener side.
 	TCPServer = fl.TCPServer
+	// Attack is the common interface of every registered reconstruction
+	// attack family (rtf, cah, qbi, loki, …); resolve one with NewAttack.
+	Attack = attack.Attack
+	// AttackConfig parametrizes registry attack calibration (dims, neuron
+	// budget, probe data, anticipated batch).
+	AttackConfig = attack.Config
 	// DishonestServer plants malicious models and inverts updates; it
 	// implements both server hooks of the threat model.
 	DishonestServer = attack.DishonestServer
@@ -138,6 +144,36 @@ func ListenTCP(addr string) (*TCPServer, error) {
 // shutdown.
 func ServeTCP(ctx context.Context, addr string, client FLClient) error {
 	return fl.ServeTCP(ctx, addr, client)
+}
+
+// NewAttack calibrates a registered attack family by kind against a probe
+// dataset: neurons sizes the planted layer and anticipatedBatch tunes bias
+// placement (0 = default 8). Unknown kinds error with the list of registered
+// families (AttackNames).
+func NewAttack(kind string, ds Dataset, neurons, anticipatedBatch int, rng *rand.Rand) (Attack, error) {
+	return attack.New(kind, attack.Config{
+		Dims:    dims(ds),
+		Classes: ds.NumClasses(),
+		Neurons: neurons,
+		Probe:   ds,
+		Batch:   anticipatedBatch,
+		Rng:     rng,
+	})
+}
+
+// AttackNames lists the registered attack families NewAttack accepts.
+func AttackNames() []string { return attack.Names() }
+
+// RegisterAttack adds a custom attack family to the registry; it then
+// becomes a valid scenario attack kind and sweep grid row.
+func RegisterAttack(kind string, ctor func(AttackConfig) (Attack, error)) error {
+	return attack.Register(kind, ctor)
+}
+
+// NewAttackServer wraps any calibrated registry attack as dishonest-server
+// hooks (assign to FLServer.Modifier and FLServer.Observer).
+func NewAttackServer(a Attack, rng *rand.Rand) (*DishonestServer, error) {
+	return attack.NewAttackServer(a, rng)
 }
 
 // NewRTFServer wraps a calibrated RTF attack as dishonest-server hooks.

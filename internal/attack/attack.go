@@ -1,18 +1,3 @@
-// Package attack implements the active reconstruction attacks the paper
-// defends against:
-//
-//   - RTF ("Robbing the Fed", Fowl et al., ICLR 2022): an imprint layer
-//     whose neurons bin a scalar measurement of the input; adjacent-bin
-//     gradient differences invert to single images.
-//   - CAH ("Curious Abandon Honesty", Boenisch et al., EuroS&P 2023): trap
-//     weights that make each neuron fire for ≈ one sample per batch; each
-//     singly-activated neuron inverts to its sample via Eq. 6.
-//   - The single-layer logistic-model inversion discussed in §IV-D.
-//
-// All three follow the paper's attack principle (§III-A): for a
-// fully-connected layer z = Wx + b, per-neuron gradients are
-// ∂L/∂W_i = Σ_j g_ij·x_j and ∂L/∂b_i = Σ_j g_ij, so whenever one sample's
-// contribution can be isolated, x̂ = (∂L/∂b_i)⁻¹·∂L/∂W_i is a verbatim copy.
 package attack
 
 import (
@@ -193,6 +178,20 @@ func Evaluate(recons []*imaging.Image, originals []*imaging.Image) Evaluation {
 		}
 	}
 	return ev
+}
+
+// runPlanted executes a planted-layer attack end to end: the victim model is
+// built, client gradients are computed on clientBatch, and the
+// reconstructions are evaluated against originals — the paper's measurement
+// loop shared by every registered attack family.
+func runPlanted(a Attack, clientBatch *data.Batch, originals []*imaging.Image, rng *rand.Rand) (Evaluation, []*imaging.Image, error) {
+	victim, err := a.BuildVictim(rng)
+	if err != nil {
+		return Evaluation{}, nil, err
+	}
+	gw, gb, _ := victim.Gradients(clientBatch)
+	recons := a.Reconstruct(gw, gb)
+	return Evaluate(recons, originals), recons, nil
 }
 
 // ratioReconstruct converts a (row of ∂W, scalar ∂b) pair into an image when

@@ -34,6 +34,9 @@ type CAH struct {
 	bias    *tensor.Tensor // [n]
 }
 
+// Name returns the registry kind "cah".
+func (a *CAH) Name() string { return "cah" }
+
 // NewCAH builds a trap-weight layer of n neurons calibrated against probe
 // data. expectedBatch is the batch size the attacker anticipates; the bias
 // of every neuron is the (1 − 1/expectedBatch) quantile of its projection
@@ -129,11 +132,5 @@ func (a *CAH) Reconstruct(gw, gb *tensor.Tensor) []*imaging.Image {
 // evaluates reconstructions against the original images — the measurement
 // loop for Figures 4 and 6.
 func (a *CAH) Run(clientBatch *data.Batch, originals []*imaging.Image, rng *rand.Rand) (Evaluation, []*imaging.Image, error) {
-	victim, err := a.BuildVictim(rng)
-	if err != nil {
-		return Evaluation{}, nil, err
-	}
-	gw, gb, _ := victim.Gradients(clientBatch)
-	recons := a.Reconstruct(gw, gb)
-	return Evaluate(recons, originals), recons, nil
+	return runPlanted(a, clientBatch, originals, rng)
 }

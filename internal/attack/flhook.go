@@ -62,22 +62,25 @@ func NewDishonestServer(label string, victim *Victim, recon Reconstructor) (*Dis
 	return &DishonestServer{label: label, spec: spec, recon: recon}, nil
 }
 
-// NewRTFServer builds the dishonest-server hooks for a calibrated RTF attack.
-func NewRTFServer(a *RTF, rng *rand.Rand) (*DishonestServer, error) {
+// NewAttackServer builds the dishonest-server hooks for any calibrated
+// registry attack: one victim model is built up front and dispatched on
+// every round the hooks are active.
+func NewAttackServer(a Attack, rng *rand.Rand) (*DishonestServer, error) {
 	victim, err := a.BuildVictim(rng)
 	if err != nil {
 		return nil, err
 	}
-	return NewDishonestServer("rtf", victim, a)
+	return NewDishonestServer(a.Name(), victim, a)
+}
+
+// NewRTFServer builds the dishonest-server hooks for a calibrated RTF attack.
+func NewRTFServer(a *RTF, rng *rand.Rand) (*DishonestServer, error) {
+	return NewAttackServer(a, rng)
 }
 
 // NewCAHServer builds the dishonest-server hooks for a calibrated CAH attack.
 func NewCAHServer(a *CAH, rng *rand.Rand) (*DishonestServer, error) {
-	victim, err := a.BuildVictim(rng)
-	if err != nil {
-		return nil, err
-	}
-	return NewDishonestServer("cah", victim, a)
+	return NewAttackServer(a, rng)
 }
 
 // Modify discards the honest global model and dispatches the malicious one —

@@ -32,6 +32,9 @@ type RTF struct {
 	Thresholds []float64 // ascending bin edges c_i
 }
 
+// Name returns the registry kind "rtf".
+func (a *RTF) Name() string { return "rtf" }
+
 // NewRTF calibrates an RTF attack: thresholds are the empirical quantiles of
 // mean brightness over the probe dataset (the attacker's public data),
 // covering the central mass of the distribution.
@@ -133,11 +136,5 @@ func (a *RTF) Reconstruct(gw, gb *tensor.Tensor) []*imaging.Image {
 // the reconstructions are evaluated against originals — the paper's
 // measurement loop for Figures 3 and 5.
 func (a *RTF) Run(clientBatch *data.Batch, originals []*imaging.Image, rng *rand.Rand) (Evaluation, []*imaging.Image, error) {
-	victim, err := a.BuildVictim(rng)
-	if err != nil {
-		return Evaluation{}, nil, err
-	}
-	gw, gb, _ := victim.Gradients(clientBatch)
-	recons := a.Reconstruct(gw, gb)
-	return Evaluate(recons, originals), recons, nil
+	return runPlanted(a, clientBatch, originals, rng)
 }

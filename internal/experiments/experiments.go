@@ -105,6 +105,7 @@ func Registry() []Spec {
 		{ID: "pm", Title: "Ablation: mean restoration in OASIS transforms", Run: PreserveMean},
 		{ID: "robust", Title: "Scenario: robust aggregation under a poisoning client", Run: Robust},
 		{ID: "scenario", Title: "Scenario: declarative large-scale FL populations (internal/sim presets)", Run: ScenarioSim},
+		{ID: "sweep", Title: "Sweep: attack × defense grid (registry attacks × §V defenses, PSNR/SSIM per cell)", Run: Sweep},
 	}
 }
 

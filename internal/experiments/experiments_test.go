@@ -12,7 +12,7 @@ import (
 func quickCfg() Config { return Config{Quick: true, Seed: 42} }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"fig2", "fig3", "fig4", "fig5", "fig6", "visual", "fig13", "fig14", "table1", "prop1", "dp", "pm", "robust", "scenario"}
+	want := []string{"fig2", "fig3", "fig4", "fig5", "fig6", "visual", "fig13", "fig14", "table1", "prop1", "dp", "pm", "robust", "scenario", "sweep"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(got), len(want))

@@ -1,0 +1,223 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/oasisfl/oasis/internal/attack"
+	"github.com/oasisfl/oasis/internal/metrics"
+	"github.com/oasisfl/oasis/internal/sim"
+)
+
+// DefaultSweepDefenses is the defense axis of the attack×defense grid: the
+// undefended baseline plus one representative of each §V defense family
+// (noise, sparsification, transformation replacement).
+func DefaultSweepDefenses() []string {
+	return []string{"none", "dpsgd:1,0.1", "prune:0.3", "ats:MR"}
+}
+
+// SweepConfig shapes an attack×defense grid evaluation. Every cell runs the
+// same base scenario with only the attack kind and defense spec overridden,
+// so the grid isolates the attack/defense interaction from population
+// effects.
+type SweepConfig struct {
+	// Base is the scenario every cell runs; its Attack schedule (neurons,
+	// rounds) is kept and only Attack.Kind is overridden per cell. Zero
+	// Base means DefaultSweepScenario().
+	Base sim.Scenario
+	// Attacks lists the attack kinds of the grid rows (default: every
+	// registered family, attack.Names()).
+	Attacks []string
+	// Defenses lists the defense specs of the grid columns; "none" (or "")
+	// is the undefended baseline (default: DefaultSweepDefenses()).
+	Defenses []string
+	// Workers bounds client concurrency inside each cell's scenario run;
+	// the report is bit-identical for every value (the PR2 guarantee holds
+	// cell-wise, and cells are evaluated in deterministic grid order).
+	Workers int
+	// Quick caps each cell's scenario for CI (sim.Options.Quick).
+	Quick bool
+	// Log receives per-cell progress lines; nil discards them.
+	Log io.Writer
+}
+
+// SweepCell is one (attack, defense) grid entry.
+type SweepCell struct {
+	Attack          string  `json:"attack"`
+	Defense         string  `json:"defense"`
+	Captures        int     `json:"captures"`
+	Reconstructions int     `json:"reconstructions"`
+	MeanPSNR        float64 `json:"mean_psnr"`
+	MeanSSIM        float64 `json:"mean_ssim"`
+	FinalAccuracy   float64 `json:"final_accuracy"`
+}
+
+// SweepReport is the structured outcome of an attack×defense sweep. For a
+// fixed base scenario seed it is bit-identical across SweepConfig.Workers
+// values.
+type SweepReport struct {
+	Scenario string      `json:"scenario"`
+	Seed     uint64      `json:"seed"`
+	Attacks  []string    `json:"attacks"`
+	Defenses []string    `json:"defenses"`
+	Cells    []SweepCell `json:"cells"`
+}
+
+// JSON renders the report as indented JSON.
+func (r *SweepReport) JSON() ([]byte, error) { return json.MarshalIndent(r, "", "  ") }
+
+// Table renders the grid as one metrics table: a row per attack, a
+// "PSNR dB / SSIM" cell per defense.
+func (r *SweepReport) Table() *metrics.Table {
+	header := append([]string{"attack"}, r.Defenses...)
+	t := metrics.NewTable(
+		fmt.Sprintf("Attack × defense sweep over scenario %q (per-cell mean PSNR dB / SSIM)", r.Scenario),
+		header...)
+	byKey := make(map[string]SweepCell, len(r.Cells))
+	for _, c := range r.Cells {
+		byKey[c.Attack+"\x00"+c.Defense] = c
+	}
+	for _, a := range r.Attacks {
+		row := []string{a}
+		for _, d := range r.Defenses {
+			c := byKey[a+"\x00"+d]
+			row = append(row, fmt.Sprintf("%.1f / %.3f", c.MeanPSNR, c.MeanSSIM))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// CellTable renders the flat per-cell detail (one row per grid entry).
+func (r *SweepReport) CellTable() *metrics.Table {
+	t := metrics.NewTable(
+		fmt.Sprintf("Sweep cells for scenario %q", r.Scenario),
+		"attack", "defense", "captures", "recon", "mean PSNR", "mean SSIM", "final acc")
+	for _, c := range r.Cells {
+		t.AddRow(c.Attack, c.Defense,
+			fmt.Sprintf("%d", c.Captures),
+			fmt.Sprintf("%d", c.Reconstructions),
+			fmt.Sprintf("%.1f", c.MeanPSNR),
+			fmt.Sprintf("%.3f", c.MeanSSIM),
+			fmt.Sprintf("%.3f", c.FinalAccuracy))
+	}
+	return t
+}
+
+// DefaultSweepScenario is the base population the sweep grid runs when the
+// caller supplies none: small enough that the full 4×4 grid finishes in CI
+// time, reliable (no dropout/stragglers) so every cell's PSNR measures the
+// attack/defense interaction and nothing else.
+func DefaultSweepScenario() sim.Scenario {
+	return sim.Scenario{
+		Name:        "sweep-base",
+		Description: "Attack×defense grid base: 12 reliable IID clients, one early strike round.",
+		Seed:        42,
+		Clients:     12, Rounds: 3, ClientsPerRound: 6, BatchSize: 4,
+		Dataset:     sim.DatasetSpec{Classes: 4, Channels: 1, Height: 8, Width: 8, Samples: 240},
+		Partition:   "iid",
+		Attack:      sim.AttackSpec{Neurons: 32, AnticipatedBatch: 4, Rounds: []int{1}},
+		Model:       sim.ArchSpec{Kind: "mlp", Hidden: 16},
+		TestSamples: 64,
+	}
+}
+
+// RunSweep evaluates the attack×defense grid: every registered attack (or
+// cfg.Attacks) against every defense spec (or DefaultSweepDefenses), one
+// scenario run per cell, reported as PSNR/SSIM per cell. Cells run in
+// deterministic grid order and each scenario run is itself bit-identical
+// across worker counts, so the whole report is too.
+func RunSweep(cfg SweepConfig) (*SweepReport, error) {
+	base := cfg.Base
+	if base.Clients == 0 {
+		base = DefaultSweepScenario()
+	}
+	attacks := cfg.Attacks
+	if len(attacks) == 0 {
+		attacks = attack.Names()
+	}
+	defenses := cfg.Defenses
+	if len(defenses) == 0 {
+		defenses = DefaultSweepDefenses()
+	}
+	report := &SweepReport{
+		Scenario: base.Name,
+		Seed:     base.Seed,
+		Attacks:  attacks,
+		Defenses: defenses,
+	}
+	// Validate the whole axis before the first cell runs, so a typo at the
+	// end of the list cannot discard minutes of completed grid work.
+	for _, atk := range attacks {
+		if !attack.Known(atk) {
+			return nil, fmt.Errorf("experiments: sweep: unknown attack kind %q (want one of %s)",
+				atk, strings.Join(attack.Names(), ", "))
+		}
+	}
+	for _, atk := range attacks {
+		for _, def := range defenses {
+			sc := base
+			sc.Attack.Kind = atk
+			if def == "none" || def == "" {
+				sc.Defense = sim.DefenseSpec{}
+			} else {
+				sc.Defense = sim.DefenseSpec{Kind: def, Fraction: 1}
+			}
+			rep, err := sim.Run(sc, sim.Options{Quick: cfg.Quick, Workers: cfg.Workers})
+			if err != nil {
+				return nil, fmt.Errorf("experiments: sweep cell %s×%s: %w", atk, def, err)
+			}
+			report.Cells = append(report.Cells, SweepCell{
+				Attack:          atk,
+				Defense:         def,
+				Captures:        rep.AttackCaptures,
+				Reconstructions: rep.AttackReconstructions,
+				MeanPSNR:        rep.AttackMeanPSNR,
+				MeanSSIM:        rep.AttackMeanSSIM,
+				FinalAccuracy:   rep.FinalAccuracy,
+			})
+			if cfg.Log != nil {
+				fmt.Fprintf(cfg.Log, "sweep %s × %s: %d recon, PSNR %.1f dB, SSIM %.3f\n",
+					atk, def, rep.AttackReconstructions, rep.AttackMeanPSNR, rep.AttackMeanSSIM)
+			}
+		}
+	}
+	return report, nil
+}
+
+// Sweep runs the attack×defense grid as a registry experiment, emitting the
+// grid table, the per-cell table, and (with an OutDir) sweep.csv/sweep.json.
+func Sweep(cfg Config) (*Result, error) {
+	base := DefaultSweepScenario()
+	if cfg.Seed != 0 {
+		base.Seed = cfg.Seed
+	}
+	rep, err := RunSweep(SweepConfig{Base: base, Workers: cfg.Workers, Quick: cfg.Quick, Log: cfg.Log})
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{ID: "sweep"}
+	grid := rep.Table()
+	res.Tables = append(res.Tables, grid, rep.CellTable())
+	res.Notes = append(res.Notes,
+		"grid JSON is bit-identical across -workers for a fixed seed; 'none' is the undefended ceiling")
+	if err := res.saveCSV(cfg, "sweep.csv", grid); err != nil {
+		return nil, err
+	}
+	if cfg.OutDir != "" {
+		raw, err := rep.JSON()
+		if err != nil {
+			return nil, err
+		}
+		path := filepath.Join(cfg.OutDir, "sweep.json")
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			return nil, fmt.Errorf("experiments: %w", err)
+		}
+		res.Artifacts = append(res.Artifacts, path)
+	}
+	return res, nil
+}

@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"bytes"
+	"runtime"
+	"strings"
+	"testing"
+
+	"github.com/oasisfl/oasis/internal/attack"
+)
+
+// TestSweepGoldenDeterminism is the acceptance bar for the sweep harness,
+// matching the PR2 scenario-engine guarantee: a fixed seed must yield a
+// byte-identical JSON report for worker counts 1, 4, and NumCPU.
+func TestSweepGoldenDeterminism(t *testing.T) {
+	cfg := SweepConfig{Quick: true}
+	if testing.Short() {
+		// Short mode trims the grid, not the guarantee: 2 attacks × 2
+		// defenses across all three worker counts.
+		cfg.Attacks = []string{"rtf", "qbi"}
+		cfg.Defenses = []string{"none", "prune:0.3"}
+	}
+	var golden []byte
+	for _, workers := range []int{1, 4, runtime.NumCPU()} {
+		cfg.Workers = workers
+		rep, err := RunSweep(cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		raw, err := rep.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if golden == nil {
+			golden = raw
+			continue
+		}
+		if !bytes.Equal(golden, raw) {
+			t.Fatalf("sweep JSON diverges at workers=%d:\n%s\nvs golden:\n%s", workers, raw, golden)
+		}
+	}
+}
+
+// TestSweepGridShape runs the full default grid once and checks every
+// (attack, defense) cell is present with a scored PSNR, and that the
+// undefended column is the per-attack ceiling the defenses pull down from.
+func TestSweepGridShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 4×4 grid; run without -short")
+	}
+	rep, err := RunSweep(SweepConfig{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	attacks := attack.Names()
+	defenses := DefaultSweepDefenses()
+	if len(rep.Cells) != len(attacks)*len(defenses) {
+		t.Fatalf("%d cells, want %d×%d", len(rep.Cells), len(attacks), len(defenses))
+	}
+	none := make(map[string]float64)
+	for _, c := range rep.Cells {
+		if c.Reconstructions == 0 {
+			t.Errorf("cell %s×%s reconstructed nothing", c.Attack, c.Defense)
+		}
+		if c.Defense == "none" {
+			if c.MeanPSNR < 40 {
+				t.Errorf("undefended %s mean PSNR %.1f dB; expected near-verbatim leakage", c.Attack, c.MeanPSNR)
+			}
+			none[c.Attack] = c.MeanPSNR
+		}
+	}
+	for _, c := range rep.Cells {
+		if c.Defense == "none" {
+			continue
+		}
+		if c.MeanPSNR >= none[c.Attack] {
+			t.Errorf("defense %s did not lower %s PSNR (%.1f ≥ %.1f)",
+				c.Defense, c.Attack, c.MeanPSNR, none[c.Attack])
+		}
+	}
+	// The grid table carries one row per attack and one column per defense.
+	tbl := rep.Table()
+	if len(tbl.Rows) != len(attacks) {
+		t.Errorf("grid table has %d rows, want %d", len(tbl.Rows), len(attacks))
+	}
+	if len(tbl.Header) != len(defenses)+1 {
+		t.Errorf("grid table has %d columns, want %d", len(tbl.Header), len(defenses)+1)
+	}
+}
+
+// TestSweepRejectsUnknownAttack keeps the axis validation wired to the
+// registry.
+func TestSweepRejectsUnknownAttack(t *testing.T) {
+	_, err := RunSweep(SweepConfig{Attacks: []string{"definitely-not-real"}, Quick: true})
+	if err == nil {
+		t.Fatal("unknown attack kind accepted")
+	}
+	for _, kind := range attack.Names() {
+		if !strings.Contains(err.Error(), kind) {
+			t.Errorf("error %q does not list registered kind %q", err, kind)
+		}
+	}
+}
+
+// TestSweepExperimentRegistered drives the registry entry end to end in
+// quick mode and checks the artifacts land in OutDir.
+func TestSweepExperimentRegistered(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full grid via the experiment wrapper; run without -short")
+	}
+	spec, ok := ByID("sweep")
+	if !ok {
+		t.Fatal("sweep experiment not registered")
+	}
+	res, err := spec.Run(Config{Quick: true, Seed: 42, OutDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tables) != 2 {
+		t.Errorf("%d tables, want grid + cells", len(res.Tables))
+	}
+	if len(res.Artifacts) != 2 {
+		t.Errorf("%d artifacts, want sweep.csv + sweep.json: %v", len(res.Artifacts), res.Artifacts)
+	}
+}

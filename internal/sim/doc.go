@@ -32,11 +32,12 @@
 //	    "base_delay_ms": 5             // floor everyone pays
 //	  },
 //	  "defense": {
-//	    "kind": "oasis:MR",            // oasis:<policy> | dpsgd:<clip>,<sigma>
-//	    "fraction": 0.3                // share of clients defended
+//	    "kind": "oasis:MR",            // oasis:<policy> | dpsgd:<clip>,<sigma> |
+//	    "fraction": 0.3                //   prune:<keep> | ats:<policy>
 //	  },
 //	  "attack": {
-//	    "kind": "rtf",                 // rtf | cah | "" (honest server)
+//	    "kind": "rtf",                 // any attack.Names() kind (rtf | cah |
+//	                                   //   qbi | loki) or "" (honest server)
 //	    "neurons": 48,
 //	    "first_round": 1, "last_round": 2,   // burst window (inclusive), or
 //	    "rounds": [1, 3]                     // explicit strike rounds

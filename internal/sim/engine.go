@@ -13,6 +13,7 @@ import (
 	"github.com/oasisfl/oasis/internal/data"
 	"github.com/oasisfl/oasis/internal/defense"
 	"github.com/oasisfl/oasis/internal/fl"
+	"github.com/oasisfl/oasis/internal/imaging"
 	"github.com/oasisfl/oasis/internal/metrics"
 	"github.com/oasisfl/oasis/internal/nn"
 	"github.com/oasisfl/oasis/internal/tensor"
@@ -120,6 +121,18 @@ func run(sc Scenario, opts Options) (*Report, error) {
 					return nil, err
 				}
 				lc.GradDef = gd
+			case "prune":
+				gd, err := defense.NewPruning(defSpec.keep)
+				if err != nil {
+					return nil, err
+				}
+				lc.GradDef = gd
+			case "ats":
+				ats, err := defense.NewATS(defSpec.policy, nn.RandSource(sc.Seed+2, uint64(i)))
+				if err != nil {
+					return nil, err
+				}
+				rec.inner = atsPreprocessor{ats}
 			}
 		}
 		lc.Pre = rec
@@ -242,29 +255,30 @@ func buildModel(sc Scenario, ds data.Dataset) (*nn.Sequential, bool, error) {
 	}
 }
 
-// buildAttack calibrates the scheduled dishonest server.
+// atsPreprocessor adapts the ATS replacement defense to the client-side
+// BatchPreprocessor slot (ATS.Apply cannot fail, the slot's can).
+type atsPreprocessor struct {
+	ats *defense.ATS
+}
+
+func (a atsPreprocessor) Apply(b *data.Batch) (*data.Batch, error) { return a.ats.Apply(b), nil }
+func (a atsPreprocessor) Name() string                             { return a.ats.Name() }
+
+// buildAttack calibrates the scheduled dishonest server through the attack
+// registry, so every registered family is a valid scenario kind.
 func buildAttack(sc Scenario, ds data.Dataset, rng *rand.Rand) (*scheduledAttack, error) {
 	c, h, w := ds.Shape()
-	dims := attack.ImageDims{C: c, H: h, W: w}
-	var (
-		srv *attack.DishonestServer
-		err error
-	)
-	switch sc.Attack.Kind {
-	case "rtf":
-		var atk *attack.RTF
-		atk, err = attack.NewRTF(dims, ds.NumClasses(), sc.Attack.Neurons, ds, rng, 256)
-		if err == nil {
-			srv, err = attack.NewRTFServer(atk, rng)
-		}
-	case "cah":
-		var atk *attack.CAH
-		atk, err = attack.NewCAH(dims, ds.NumClasses(), sc.Attack.Neurons, ds, rng, 256, sc.Attack.AnticipatedBatch)
-		if err == nil {
-			srv, err = attack.NewCAHServer(atk, rng)
-		}
-	default:
-		err = fmt.Errorf("sim: unknown attack kind %q", sc.Attack.Kind)
+	atk, err := attack.New(sc.Attack.Kind, attack.Config{
+		Dims:    attack.ImageDims{C: c, H: h, W: w},
+		Classes: ds.NumClasses(),
+		Neurons: sc.Attack.Neurons,
+		Probe:   ds,
+		Batch:   sc.Attack.AnticipatedBatch,
+		Rng:     rng,
+	})
+	var srv *attack.DishonestServer
+	if err == nil {
+		srv, err = attack.NewAttackServer(atk, rng)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("sim: calibrate %s attack: %w", sc.Attack.Kind, err)
@@ -357,7 +371,7 @@ func scoreAttack(report *Report, sched *scheduledAttack, population []*simClient
 	}
 	perRound := make(map[int][]float64)
 	reconPerRound := make(map[int]int)
-	var all []float64
+	var all, ssims []float64
 	caps := sched.inner.Captures()
 	for _, cap := range caps {
 		reconPerRound[cap.Round] += len(cap.Reconstructions)
@@ -373,9 +387,13 @@ func scoreAttack(report *Report, sched *scheduledAttack, population []*simClient
 		ev := attack.Evaluate(cap.Reconstructions, o.originals)
 		perRound[cap.Round] = append(perRound[cap.Round], ev.PSNRs...)
 		all = append(all, ev.PSNRs...)
+		for _, r := range cap.Reconstructions {
+			ssims = append(ssims, imaging.BestSSIM(r, o.originals))
+		}
 	}
 	report.AttackCaptures = len(caps)
 	report.AttackMeanPSNR = metrics.Mean(all)
+	report.AttackMeanSSIM = metrics.Mean(ssims)
 	for i := range report.Rounds {
 		r := report.Rounds[i].Round
 		report.Rounds[i].Reconstructions = reconPerRound[r]

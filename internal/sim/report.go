@@ -68,6 +68,9 @@ type Report struct {
 	AttackCaptures        int     `json:"attack_captures,omitempty"`
 	AttackReconstructions int     `json:"attack_reconstructions,omitempty"`
 	AttackMeanPSNR        float64 `json:"attack_mean_psnr,omitempty"`
+	// AttackMeanSSIM averages the structural similarity of each
+	// reconstruction against its best-PSNR original (0 without captures).
+	AttackMeanSSIM float64 `json:"attack_mean_ssim,omitempty"`
 }
 
 // JSON renders the report as indented JSON.
@@ -119,8 +122,8 @@ func (r *Report) String() string {
 	fmt.Fprintf(&b, "final: loss %.4f, accuracy %.3f, %.1f virtual s total\n",
 		r.FinalLoss, r.FinalAccuracy, r.TotalVirtualMS/1000)
 	if r.Attack != "" {
-		fmt.Fprintf(&b, "attack %s: %d captures, %d reconstructions, mean PSNR %.1f dB (defense %s on %d/%d clients)\n",
-			r.Attack, r.AttackCaptures, r.AttackReconstructions, r.AttackMeanPSNR,
+		fmt.Fprintf(&b, "attack %s: %d captures, %d reconstructions, mean PSNR %.1f dB, mean SSIM %.3f (defense %s on %d/%d clients)\n",
+			r.Attack, r.AttackCaptures, r.AttackReconstructions, r.AttackMeanPSNR, r.AttackMeanSSIM,
 			orNone(r.Defense), r.Defended, r.Clients)
 	}
 	return b.String()

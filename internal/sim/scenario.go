@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"strings"
 
+	"github.com/oasisfl/oasis/internal/attack"
 	"github.com/oasisfl/oasis/internal/augment"
 	"github.com/oasisfl/oasis/internal/data"
 	"github.com/oasisfl/oasis/internal/fl"
@@ -84,6 +85,8 @@ type StragglerSpec struct {
 //
 //	oasis:<policy>        OASIS batch augmentation (MR, mR, SH, HFlip, VFlip, MR+SH)
 //	dpsgd:<clip>,<sigma>  DP-SGD gradient clipping + noise (per-client state)
+//	prune:<keep>          gradient sparsification keeping the top fraction
+//	ats:<policy>          transformation replacement (Gao et al.); per-client RNG
 type DefenseSpec struct {
 	Kind     string  `json:"kind,omitempty"`
 	Fraction float64 `json:"fraction,omitempty"` // default 1 when Kind is set
@@ -95,7 +98,9 @@ type DefenseSpec struct {
 // Active rounds are the explicit Rounds list when given, else the inclusive
 // burst window [FirstRound, LastRound].
 type AttackSpec struct {
-	Kind             string `json:"kind,omitempty"` // "" (honest) | rtf | cah
+	// Kind is "" (honest server) or any registered attack family
+	// (attack.Names(): rtf, cah, qbi, loki, …).
+	Kind             string `json:"kind,omitempty"`
 	Neurons          int    `json:"neurons,omitempty"`
 	AnticipatedBatch int    `json:"anticipated_batch,omitempty"` // CAH tuning; default BatchSize
 	Rounds           []int  `json:"rounds,omitempty"`
@@ -157,7 +162,7 @@ func (s Scenario) Normalize() (Scenario, error) {
 	if s.Defense.Kind != "" && s.Defense.Fraction == 0 {
 		s.Defense.Fraction = 1
 	}
-	if s.Attack.Kind == "cah" && s.Attack.AnticipatedBatch == 0 {
+	if s.Attack.Kind != "" && s.Attack.AnticipatedBatch == 0 {
 		s.Attack.AnticipatedBatch = s.BatchSize
 	}
 	if err := s.Validate(); err != nil {
@@ -222,10 +227,11 @@ func (s Scenario) Validate() error {
 			return fail("%v", err)
 		}
 	}
-	switch s.Attack.Kind {
-	case "", "rtf", "cah":
-	default:
-		return fail("unknown attack kind %q (want rtf or cah)", s.Attack.Kind)
+	if s.Attack.Kind != "" && !attack.Known(s.Attack.Kind) {
+		// The valid list comes from the attack registry, so this message
+		// can never go stale as families are added.
+		return fail("unknown attack kind %q (want one of %s)",
+			s.Attack.Kind, strings.Join(attack.Names(), ", "))
 	}
 	if s.Attack.Kind != "" {
 		if s.Attack.Neurons <= 0 {
@@ -256,10 +262,11 @@ func (s Scenario) Validate() error {
 
 // defenseSpec is a parsed DefenseSpec.Kind.
 type defenseSpec struct {
-	kind   string // "oasis" | "dpsgd"
+	kind   string // "oasis" | "dpsgd" | "prune" | "ats"
 	policy augment.Policy
 	clip   float64
 	sigma  float64
+	keep   float64
 }
 
 // parseDefense resolves a DefenseSpec.Kind string.
@@ -286,8 +293,23 @@ func parseDefense(kind string) (defenseSpec, error) {
 			return defenseSpec{}, fmt.Errorf("sim: defense %q: want dpsgd:<clip>,<sigma> with clip > 0, sigma ≥ 0", kind)
 		}
 		return defenseSpec{kind: "dpsgd", clip: clip, sigma: sigma}, nil
+	case "prune":
+		keep, err := strconv.ParseFloat(arg, 64)
+		if err != nil || keep <= 0 || keep > 1 {
+			return defenseSpec{}, fmt.Errorf("sim: defense %q: want prune:<keep> with keep in (0, 1]", kind)
+		}
+		return defenseSpec{kind: "prune", keep: keep}, nil
+	case "ats":
+		p, err := augment.ByName(arg)
+		if err != nil {
+			return defenseSpec{}, fmt.Errorf("sim: defense %q: %w", kind, err)
+		}
+		if p == nil {
+			return defenseSpec{}, fmt.Errorf("sim: defense %q needs a transformation policy to replace with", kind)
+		}
+		return defenseSpec{kind: "ats", policy: p}, nil
 	default:
-		return defenseSpec{}, fmt.Errorf("sim: unknown defense kind %q (want oasis:<policy> or dpsgd:<clip>,<sigma>)", kind)
+		return defenseSpec{}, fmt.Errorf("sim: unknown defense kind %q (want oasis:<policy>, dpsgd:<clip>,<sigma>, prune:<keep>, or ats:<policy>)", kind)
 	}
 }
 
@@ -373,6 +395,33 @@ func Presets() []Scenario {
 			Defense:    DefenseSpec{Kind: "oasis:MR", Fraction: 1},
 			Model:      ArchSpec{Kind: "mlp", Hidden: 32},
 			EvalEvery:  5, TestSamples: 128,
+		},
+		{
+			Name:        "qbi-probe",
+			Description: "60 clients facing a QBI bias-initialization burst; gradient pruning on half the population.",
+			Seed:        42,
+			Clients:     60, Rounds: 6, ClientsPerRound: 15, BatchSize: 8,
+			Dataset:   DatasetSpec{Classes: 6, Channels: 1, Height: 8, Width: 8, Samples: 960},
+			Partition: "dirichlet:0.3",
+			Dropout:   0.05,
+			Defense:   DefenseSpec{Kind: "prune:0.3", Fraction: 0.5},
+			Attack:    AttackSpec{Kind: "qbi", Neurons: 48, AnticipatedBatch: 8, FirstRound: 1, LastRound: 3},
+			Model:     ArchSpec{Kind: "mlp", Hidden: 32},
+			EvalEvery: 3, TestSamples: 128,
+		},
+		{
+			Name:        "loki-population",
+			Description: "300-client sampled population under a sustained LOKI-style scaled-kernel attack; ATS replacement on half.",
+			Seed:        42,
+			Clients:     300, Rounds: 6, ClientsPerRound: 30, BatchSize: 4,
+			Dataset:   DatasetSpec{Classes: 8, Channels: 1, Height: 8, Width: 8, Samples: 2400},
+			Partition: "quantity:0.5",
+			Sampling:  "size",
+			Dropout:   0.1,
+			Defense:   DefenseSpec{Kind: "ats:MR", Fraction: 0.5},
+			Attack:    AttackSpec{Kind: "loki", Neurons: 64, FirstRound: 1, LastRound: 4},
+			Model:     ArchSpec{Kind: "mlp", Hidden: 32},
+			EvalEvery: 3, TestSamples: 128,
 		},
 		{
 			Name:        "adversarial-burst",

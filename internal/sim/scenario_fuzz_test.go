@@ -1,0 +1,191 @@
+package sim
+
+import (
+	"bytes"
+	rand "math/rand/v2"
+	"strings"
+	"testing"
+
+	"github.com/oasisfl/oasis/internal/attack"
+)
+
+// validBase is a minimal scenario every corpus entry mutates from.
+func validBase() Scenario {
+	return Scenario{
+		Name: "corpus", Seed: 7,
+		Clients: 8, Rounds: 4, BatchSize: 4,
+		Dataset: DatasetSpec{Classes: 4, Channels: 1, Height: 8, Width: 8, Samples: 64},
+		Attack:  AttackSpec{Kind: "qbi", Neurons: 16, Rounds: []int{1}},
+	}
+}
+
+// TestScenarioValidationCorpus is the table-driven validation corpus for the
+// registry-era spec: every registered attack kind must pass, and the classic
+// spec mistakes (unknown kinds, bad rounds windows, negative neurons, bad
+// defenses) must fail with a message naming the problem.
+func TestScenarioValidationCorpus(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*Scenario)
+		wantErr string // "" = must validate
+	}{
+		{"base", func(*Scenario) {}, ""},
+		{"attack-rtf", func(s *Scenario) { s.Attack.Kind = "rtf" }, ""},
+		{"attack-cah", func(s *Scenario) { s.Attack.Kind = "cah" }, ""},
+		{"attack-loki", func(s *Scenario) { s.Attack.Kind = "loki" }, ""},
+		{"honest", func(s *Scenario) { s.Attack = AttackSpec{} }, ""},
+		{"unknown-attack", func(s *Scenario) { s.Attack.Kind = "gradient-wizard" }, "unknown attack kind"},
+		{"negative-neurons", func(s *Scenario) { s.Attack.Neurons = -3 }, "neurons must be > 0"},
+		{"zero-neurons", func(s *Scenario) { s.Attack.Neurons = 0 }, "neurons must be > 0"},
+		{"window-after-run", func(s *Scenario) {
+			s.Attack.Rounds = nil
+			s.Attack.FirstRound, s.Attack.LastRound = 10, 12
+		}, "never strikes"},
+		{"inverted-window", func(s *Scenario) {
+			s.Attack.Rounds = nil
+			s.Attack.FirstRound, s.Attack.LastRound = 3, 1
+		}, "never strikes"},
+		{"explicit-round-outside", func(s *Scenario) { s.Attack.Rounds = []int{9} }, "never strikes"},
+		{"defense-prune", func(s *Scenario) { s.Defense = DefenseSpec{Kind: "prune:0.3"} }, ""},
+		{"defense-ats", func(s *Scenario) { s.Defense = DefenseSpec{Kind: "ats:MR"} }, ""},
+		{"defense-prune-bad-keep", func(s *Scenario) { s.Defense = DefenseSpec{Kind: "prune:1.5"} }, "prune"},
+		{"defense-ats-bad-policy", func(s *Scenario) { s.Defense = DefenseSpec{Kind: "ats:bogus"} }, "ats:bogus"},
+		{"defense-unknown", func(s *Scenario) { s.Defense = DefenseSpec{Kind: "tinfoil"} }, "unknown defense kind"},
+		{"no-clients", func(s *Scenario) { s.Clients = 0 }, "clients must be > 0"},
+		{"negative-rounds", func(s *Scenario) { s.Rounds = -1 }, "rounds must be > 0"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sc := validBase()
+			tc.mutate(&sc)
+			_, err := sc.Normalize()
+			switch {
+			case tc.wantErr == "" && err != nil:
+				t.Fatalf("want valid, got %v", err)
+			case tc.wantErr != "" && err == nil:
+				t.Fatalf("want error containing %q, got none", tc.wantErr)
+			case tc.wantErr != "" && !strings.Contains(err.Error(), tc.wantErr):
+				t.Fatalf("error %q does not contain %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestUnknownAttackErrorListsRegistry pins the stale-message fix: the
+// validation error must name every registered family, not a hard-coded pair.
+func TestUnknownAttackErrorListsRegistry(t *testing.T) {
+	sc := validBase()
+	sc.Attack.Kind = "nope"
+	_, err := sc.Normalize()
+	if err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	for _, kind := range attack.Names() {
+		if !strings.Contains(err.Error(), kind) {
+			t.Errorf("validation error %q does not list registered kind %q", err, kind)
+		}
+	}
+	if strings.Contains(err.Error(), "want rtf or cah") {
+		t.Error("validation error still hard-codes the pre-registry kinds")
+	}
+}
+
+// TestScenarioRandomSpecCorpus drives Normalize over seeded-random attack
+// and schedule mutations: validation must accept exactly the specs whose
+// kind is registered, neurons positive, and window live — and must never
+// panic regardless of the draw.
+func TestScenarioRandomSpecCorpus(t *testing.T) {
+	kinds := append([]string{"", "bogus", "RTF", "qbi ", "loki"}, attack.Names()...)
+	rng := rand.New(rand.NewPCG(0xc0ffee, 1))
+	for i := 0; i < 500; i++ {
+		sc := validBase()
+		sc.Rounds = 1 + rng.IntN(8)
+		sc.Attack.Kind = kinds[rng.IntN(len(kinds))]
+		sc.Attack.Neurons = rng.IntN(40) - 8
+		sc.Attack.Rounds = nil
+		sc.Attack.FirstRound = rng.IntN(10) - 2
+		sc.Attack.LastRound = rng.IntN(10) - 2
+		if rng.IntN(3) == 0 {
+			sc.Attack.Rounds = []int{rng.IntN(12) - 2}
+		}
+
+		wantOK := true
+		if sc.Attack.Kind != "" {
+			if !attack.Known(sc.Attack.Kind) || sc.Attack.Neurons <= 0 {
+				wantOK = false
+			} else {
+				live := false
+				for r := 0; r < sc.Rounds; r++ {
+					if sc.Attack.Active(r) {
+						live = true
+						break
+					}
+				}
+				wantOK = live
+			}
+		}
+		_, err := sc.Normalize()
+		if wantOK && err != nil {
+			t.Fatalf("draw %d (%+v): want valid, got %v", i, sc.Attack, err)
+		}
+		if !wantOK && err == nil {
+			t.Fatalf("draw %d (%+v, rounds %d): invalid spec accepted", i, sc.Attack, sc.Rounds)
+		}
+	}
+}
+
+// FuzzScenarioDecode hardens the JSON front door: whatever bytes arrive,
+// Decode and Normalize must fail cleanly instead of panicking, and a spec
+// that normalizes must survive a JSON round trip to the same resolved form.
+func FuzzScenarioDecode(f *testing.F) {
+	seed := func(sc Scenario) {
+		raw, err := sc.JSON()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(raw)
+	}
+	base := validBase()
+	seed(base)
+	loki := validBase()
+	loki.Attack = AttackSpec{Kind: "loki", Neurons: 32, FirstRound: 1, LastRound: 2}
+	seed(loki)
+	bad := validBase()
+	bad.Attack.Neurons = -5
+	seed(bad)
+	window := validBase()
+	window.Attack.Rounds = []int{99}
+	seed(window)
+	f.Add([]byte(`{"name":"x","attack":{"kind":"qbi","neurons":1e9}}`))
+	f.Add([]byte(`{"clients":1,"rounds":1,"dataset":{"classes":2,"channels":1,"height":1,"width":1,"samples":1}}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`{"unknown_field":true}`))
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		sc, err := Decode(bytes.NewReader(raw))
+		if err != nil {
+			return // malformed JSON must simply error
+		}
+		norm, err := sc.Normalize()
+		if err != nil {
+			return // invalid specs must simply error
+		}
+		round, err := norm.JSON()
+		if err != nil {
+			t.Fatalf("normalized scenario does not marshal: %v", err)
+		}
+		again, err := Decode(bytes.NewReader(round))
+		if err != nil {
+			t.Fatalf("normalized scenario does not re-decode: %v", err)
+		}
+		norm2, err := again.Normalize()
+		if err != nil {
+			t.Fatalf("normalized scenario does not re-validate: %v", err)
+		}
+		a, _ := norm.JSON()
+		b, _ := norm2.JSON()
+		if !bytes.Equal(a, b) {
+			t.Fatalf("normalization is not a fixed point:\n%s\nvs\n%s", a, b)
+		}
+	})
+}

@@ -12,7 +12,7 @@ import (
 
 func TestPresetsNormalize(t *testing.T) {
 	names := PresetNames()
-	want := []string{"smoke", "cross-device-1k", "flaky-hospital", "adversarial-burst"}
+	want := []string{"smoke", "cross-device-1k", "flaky-hospital", "qbi-probe", "loki-population", "adversarial-burst"}
 	if !reflect.DeepEqual(names, want) {
 		t.Fatalf("preset names %v, want %v", names, want)
 	}

@@ -64,8 +64,8 @@ func TestNewDefenseValidation(t *testing.T) {
 
 func TestExperimentRegistryAccessible(t *testing.T) {
 	ids := Experiments()
-	if len(ids) != 14 {
-		t.Errorf("%d experiments exposed, want 14", len(ids))
+	if len(ids) != 15 {
+		t.Errorf("%d experiments exposed, want 15", len(ids))
 	}
 	if _, err := RunExperiment("definitely-not-real", ExperimentConfig{Quick: true}); err == nil {
 		t.Error("unknown experiment accepted")
