@@ -2,10 +2,12 @@
 // transport: one server process and N client processes (or all roles in a
 // single process with -demo).
 //
-// Honest run:
+// Honest run (-defense takes a defense pipeline spec; a bare OASIS policy
+// label like "MR" is shorthand for "oasis:MR"):
 //
 //	oasis-fl -role server -addr :7070 -clients 4 -rounds 20
-//	oasis-fl -role client -addr host:7070 -name hospital-1 -defense MR
+//	oasis-fl -role client -addr host:7070 -name hospital-1 -defense oasis:MR
+//	oasis-fl -role client -addr host:7070 -name hospital-2 -defense "oasis:MR|dpsgd:1,0.1"
 //
 // Dishonest-server demonstration (the paper's threat model):
 //
@@ -13,7 +15,7 @@
 //
 // Demo mode spawns the server and clients in-process over real TCP sockets:
 //
-//	oasis-fl -demo -clients 3 -rounds 5 -attack rtf -defense MR
+//	oasis-fl -demo -clients 3 -rounds 5 -attack rtf -defense "oasis:MR|prune:0.3"
 //
 // The round engine is concurrent and its aggregation policy is pluggable:
 //
@@ -52,7 +54,7 @@ func run() error {
 		clients  = flag.Int("clients", 2, "clients the server waits for / demo spawns")
 		rounds   = flag.Int("rounds", 5, "FL rounds")
 		batch    = flag.Int("batch", 8, "client batch size")
-		defName  = flag.String("defense", "", "OASIS policy for clients (MR, mR, SH, HFlip, VFlip, MR+SH; empty = undefended)")
+		defName  = flag.String("defense", "", "client defense pipeline ('|'-chain of "+strings.Join(oasis.DefenseNames(), " | ")+" specs, e.g. oasis:MR|dpsgd:1,0.1; a bare policy label means oasis:<label>; empty = undefended)")
 		attackID = flag.String("attack", "", "dishonest server attack ("+strings.Join(oasis.AttackNames(), " | ")+"; empty = honest)")
 		seed     = flag.Uint64("seed", 42, "deterministic seed")
 		outDir   = flag.String("out", "", "directory for reconstruction montages (server side)")
@@ -71,6 +73,13 @@ func run() error {
 			return err
 		}
 	}
+	// Resolve -defense before any role starts: it is a registry pipeline
+	// spec, with a bare OASIS policy label ("MR") kept as shorthand for
+	// "oasis:<label>" for pre-registry invocations.
+	defSpec, err := resolveDefense(*defName)
+	if err != nil {
+		return err
+	}
 	opts := driveOptions{
 		rounds:   *rounds,
 		attackID: *attackID,
@@ -81,14 +90,31 @@ func run() error {
 	}
 	switch {
 	case *demo:
-		return runDemo(ctx, *clients, *batch, *defName, opts)
+		return runDemo(ctx, *clients, *batch, defSpec, opts)
 	case *role == "server":
 		return runServer(ctx, *addr, *clients, opts)
 	case *role == "client":
-		return runClient(ctx, *addr, *name, *batch, *defName, *seed)
+		return runClient(ctx, *addr, *name, *batch, defSpec, *seed)
 	default:
 		return fmt.Errorf("pass -demo, or -role server|client")
 	}
+}
+
+// resolveDefense normalizes the -defense flag to a registry pipeline spec.
+func resolveDefense(spec string) (string, error) {
+	if spec == "" {
+		return "", nil
+	}
+	_, err := oasis.NewDefensePipeline(spec, nil)
+	if err == nil {
+		return spec, nil
+	}
+	// Legacy shorthand: "-defense MR" meant the OASIS policy MR.
+	legacy := "oasis:" + spec
+	if _, err2 := oasis.NewDefensePipeline(legacy, nil); err2 == nil {
+		return legacy, nil
+	}
+	return "", err
 }
 
 // driveOptions carries the server-side round-engine knobs.
@@ -101,26 +127,28 @@ type driveOptions struct {
 	aggName  string
 }
 
-// newClient assembles a local client with an optional OASIS defense.
-func newClient(name string, batch int, defName string, seed uint64) (*oasis.FLLocalClient, error) {
+// newClient assembles a local client with an optional defense pipeline.
+func newClient(name string, batch int, defSpec string, seed uint64) (*oasis.FLLocalClient, error) {
 	shard := oasis.NewSynthDataset("site-"+name, 10, 3, 32, 32, 512, seed)
 	client := oasis.NewFLClient(name, shard, batch, oasis.NewRand(seed, hash(name)))
-	if defName != "" {
-		def, err := oasis.NewDefense(defName)
+	if defSpec != "" {
+		// Each client owns its pipeline: stochastic stages (DPSGD, ATS)
+		// keep per-client state and must not be shared.
+		def, err := oasis.NewDefensePipeline(defSpec, oasis.NewRand(seed^0xdef, hash(name)))
 		if err != nil {
 			return nil, err
 		}
-		client.Pre = def
+		oasis.AttachDefense(client, def)
 	}
 	return client, nil
 }
 
-func runClient(ctx context.Context, addr, name string, batch int, defName string, seed uint64) error {
-	client, err := newClient(name, batch, defName, seed)
+func runClient(ctx context.Context, addr, name string, batch int, defSpec string, seed uint64) error {
+	client, err := newClient(name, batch, defSpec, seed)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("client %s connecting to %s (defense=%q)\n", name, addr, defName)
+	fmt.Printf("client %s connecting to %s (defense=%q)\n", name, addr, defSpec)
 	return oasis.ServeTCP(ctx, addr, client)
 }
 
@@ -205,7 +233,7 @@ func drive(ctx context.Context, roster oasis.FLRoster, opts driveOptions) error 
 	return nil
 }
 
-func runDemo(ctx context.Context, clients, batch int, defName string, opts driveOptions) error {
+func runDemo(ctx context.Context, clients, batch int, defSpec string, opts driveOptions) error {
 	roster, err := oasis.ListenTCP("127.0.0.1:0")
 	if err != nil {
 		return err
@@ -218,7 +246,7 @@ func runDemo(ctx context.Context, clients, batch int, defName string, opts drive
 	var wg sync.WaitGroup
 	for i := 0; i < clients; i++ {
 		name := fmt.Sprintf("client-%d", i+1)
-		c, err := newClient(name, batch, defName, opts.seed+uint64(i))
+		c, err := newClient(name, batch, defSpec, opts.seed+uint64(i))
 		if err != nil {
 			return err
 		}

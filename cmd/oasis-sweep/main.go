@@ -1,10 +1,14 @@
 // Command oasis-sweep evaluates the full attack × defense grid: every
 // registered reconstruction attack (rtf, cah, qbi, loki, …) against the
-// undefended baseline and the §V defense families, one scenario run per
-// cell, reported as mean PSNR/SSIM per cell.
+// undefended baseline, the §V defense families, and composed defense
+// pipelines, one scenario run per cell, reported as mean PSNR/SSIM per cell.
 //
-//	oasis-sweep                                  # default 4×4 grid
+// -attacks and -defenses select grid subsets; a defense column is any
+// registry pipeline spec, so layered cells are one flag away:
+//
+//	oasis-sweep                                  # default grid (incl. a composed column)
 //	oasis-sweep -attacks rtf,qbi -defenses none,prune:0.3
+//	oasis-sweep -defenses "none;oasis:MR|dpsgd:1,0.1;ats:SH|prune:0.5"
 //	oasis-sweep -scenario base.json -workers 8 -out results
 //
 // The report is deterministic: for a fixed seed the JSON is byte-identical
@@ -19,6 +23,7 @@ import (
 	"strings"
 
 	"github.com/oasisfl/oasis/internal/attack"
+	"github.com/oasisfl/oasis/internal/defense"
 	"github.com/oasisfl/oasis/internal/experiments"
 	"github.com/oasisfl/oasis/internal/sim"
 )
@@ -34,7 +39,7 @@ func run() error {
 	var (
 		scenarioPath = flag.String("scenario", "", "JSON base scenario for every cell (default: built-in sweep base)")
 		attacks      = flag.String("attacks", "", "comma-separated attack kinds (default: all registered: "+strings.Join(attack.Names(), ",")+")")
-		defenses     = flag.String("defenses", "", "comma-separated defense specs (default: "+strings.Join(experiments.DefaultSweepDefenses(), ",")+")")
+		defenses     = flag.String("defenses", "", "defense pipeline specs, ';'-separated (',' also works when no spec needs a comma); each is a '|'-chain of "+strings.Join(defense.Names(), "/")+" segments (default: "+strings.Join(experiments.DefaultSweepDefenses(), " ; ")+")")
 		neurons      = flag.Int("neurons", 0, "override the base scenario's attacked neurons (0 = keep)")
 		seed         = flag.Uint64("seed", 0, "override the base scenario seed (0 = keep)")
 		workers      = flag.Int("workers", 0, "max clients trained concurrently per cell (0 = NumCPU)")
@@ -61,8 +66,8 @@ func run() error {
 
 	cfg := experiments.SweepConfig{
 		Base:     base,
-		Attacks:  splitList(*attacks),
-		Defenses: splitList(*defenses),
+		Attacks:  splitList(*attacks, ","),
+		Defenses: splitDefenses(*defenses),
 		Workers:  *workers,
 		Quick:    *quick,
 	}
@@ -97,16 +102,36 @@ func run() error {
 	return nil
 }
 
-// splitList parses a comma-separated flag into its non-empty items.
-func splitList(s string) []string {
+// splitList parses a separated flag into its non-empty items.
+func splitList(s, sep string) []string {
 	if s == "" {
 		return nil
 	}
 	var out []string
-	for _, part := range strings.Split(s, ",") {
+	for _, part := range strings.Split(s, sep) {
 		if p := strings.TrimSpace(part); p != "" {
 			out = append(out, p)
 		}
 	}
 	return out
+}
+
+// splitDefenses parses the -defenses flag: items are ';'-separated when a
+// semicolon is present (the unambiguous form — dpsgd's argument itself
+// contains a comma); otherwise a string that already parses as one pipeline
+// spec is a single item (so a lone -defenses dpsgd:1,0.1 works), and only
+// then is ',' treated as the list separator.
+func splitDefenses(s string) []string {
+	if s == "" {
+		return nil
+	}
+	if strings.Contains(s, ";") {
+		return splitList(s, ";")
+	}
+	if strings.Contains(s, ",") {
+		if _, err := defense.NewPipeline(s, defense.Config{}); err == nil {
+			return []string{s}
+		}
+	}
+	return splitList(s, ",")
 }

@@ -1,17 +1,3 @@
-// Package defense implements the non-OASIS baseline defenses the paper
-// compares against (§V):
-//
-//   - DPSGD: per-example gradient clipping plus Gaussian noise (Abadi et
-//     al.). The paper notes that noise strong enough to hide content also
-//     destroys model utility.
-//   - Gradient pruning/sparsification (Zhu et al. [38], Sun et al. [37]):
-//     zeroing small-magnitude gradients; [17] shows data remains
-//     recognizable even with most gradients pruned.
-//   - ATS-style transformation replacement (Gao et al. [41]): each image is
-//     *replaced* by one transformed copy instead of being *accompanied* by
-//     transforms. Figure 14 demonstrates the attack principle still applies:
-//     a neuron activated only by the transformed image reconstructs it
-//     verbatim.
 package defense
 
 import (
@@ -19,7 +5,6 @@ import (
 	"fmt"
 	"math"
 	rand "math/rand/v2"
-	"sort"
 
 	"github.com/oasisfl/oasis/internal/augment"
 	"github.com/oasisfl/oasis/internal/data"
@@ -91,7 +76,10 @@ func NewPruning(keep float64) (*Pruning, error) {
 	return &Pruning{Keep: keep}, nil
 }
 
-// Apply zeroes every coordinate below the global magnitude threshold.
+// Apply zeroes every coordinate below the global magnitude threshold. The
+// threshold is the k-th smallest magnitude (k = total·(1−Keep)), found by
+// quickselect in O(total) instead of a full O(total·log total) sort — the
+// same cut a sort would yield, so the output is identical.
 func (p *Pruning) Apply(grads []*tensor.Tensor) {
 	if p.Keep >= 1 {
 		return
@@ -100,14 +88,19 @@ func (p *Pruning) Apply(grads []*tensor.Tensor) {
 	for _, g := range grads {
 		total += g.Len()
 	}
+	if total == 0 {
+		return
+	}
 	mags := make([]float64, 0, total)
 	for _, g := range grads {
 		for _, v := range g.Data() {
 			mags = append(mags, math.Abs(v))
 		}
 	}
-	sort.Float64s(mags)
-	cut := mags[int(float64(total)*(1-p.Keep))]
+	// A Keep small enough that 1−Keep rounds to 1.0 would index past the
+	// end; clamping keeps the largest coordinate as the cut instead.
+	k := min(int(float64(total)*(1-p.Keep)), total-1)
+	cut := quickselect(mags, k)
 	for _, g := range grads {
 		gd := g.Data()
 		for i, v := range gd {
@@ -116,6 +109,52 @@ func (p *Pruning) Apply(grads []*tensor.Tensor) {
 			}
 		}
 	}
+}
+
+// quickselect returns the k-th smallest element (0-indexed) of a, partially
+// reordering it in place. Median-of-three pivoting keeps the deterministic
+// adversarial shapes (sorted, reversed, constant) near O(n), and the
+// three-way partition collapses the massive magnitude ties that pruned or
+// sparse gradients produce in a single round.
+func quickselect(a []float64, k int) float64 {
+	lo, hi := 0, len(a)-1
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if a[mid] < a[lo] {
+			a[mid], a[lo] = a[lo], a[mid]
+		}
+		if a[hi] < a[lo] {
+			a[hi], a[lo] = a[lo], a[hi]
+		}
+		if a[hi] < a[mid] {
+			a[hi], a[mid] = a[mid], a[hi]
+		}
+		pivot := a[mid]
+		i, j, n := lo, lo, hi
+		for j <= n {
+			switch {
+			case a[j] < pivot:
+				a[i], a[j] = a[j], a[i]
+				i++
+				j++
+			case a[j] > pivot:
+				a[j], a[n] = a[n], a[j]
+				n--
+			default:
+				j++
+			}
+		}
+		// a[i..n] all equal pivot now; recurse into one side only.
+		switch {
+		case k < i:
+			hi = i - 1
+		case k > n:
+			lo = n + 1
+		default:
+			return pivot
+		}
+	}
+	return a[lo]
 }
 
 // Name returns a label including the keep fraction.

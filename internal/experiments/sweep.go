@@ -9,15 +9,18 @@ import (
 	"strings"
 
 	"github.com/oasisfl/oasis/internal/attack"
+	"github.com/oasisfl/oasis/internal/defense"
 	"github.com/oasisfl/oasis/internal/metrics"
 	"github.com/oasisfl/oasis/internal/sim"
 )
 
 // DefaultSweepDefenses is the defense axis of the attack×defense grid: the
-// undefended baseline plus one representative of each §V defense family
-// (noise, sparsification, transformation replacement).
+// undefended baseline, one representative of each §V defense family (noise,
+// sparsification, transformation replacement), and one composed pipeline —
+// OASIS augmentation stacked with DP noise — the layered deployment the
+// paper argues population-scale attacks must be met with.
 func DefaultSweepDefenses() []string {
-	return []string{"none", "dpsgd:1,0.1", "prune:0.3", "ats:MR"}
+	return []string{"none", "dpsgd:1,0.1", "prune:0.3", "ats:MR", "oasis:MR|dpsgd:1,0.1"}
 }
 
 // SweepConfig shapes an attack×defense grid evaluation. Every cell runs the
@@ -32,8 +35,10 @@ type SweepConfig struct {
 	// Attacks lists the attack kinds of the grid rows (default: every
 	// registered family, attack.Names()).
 	Attacks []string
-	// Defenses lists the defense specs of the grid columns; "none" (or "")
-	// is the undefended baseline (default: DefaultSweepDefenses()).
+	// Defenses lists the defense pipeline specs of the grid columns —
+	// arbitrary '|'-chains resolved by the defense registry, e.g.
+	// "oasis:MR|dpsgd:1,0.1"; "none" (or "") is the undefended baseline
+	// (default: DefaultSweepDefenses()).
 	Defenses []string
 	// Workers bounds client concurrency inside each cell's scenario run;
 	// the report is bit-identical for every value (the PR2 guarantee holds
@@ -150,12 +155,21 @@ func RunSweep(cfg SweepConfig) (*SweepReport, error) {
 		Attacks:  attacks,
 		Defenses: defenses,
 	}
-	// Validate the whole axis before the first cell runs, so a typo at the
-	// end of the list cannot discard minutes of completed grid work.
+	// Validate both axes before the first cell runs, so a typo at the end of
+	// a list cannot discard minutes of completed grid work. Defense columns
+	// are arbitrary pipeline specs resolved by the defense registry.
 	for _, atk := range attacks {
 		if !attack.Known(atk) {
 			return nil, fmt.Errorf("experiments: sweep: unknown attack kind %q (want one of %s)",
 				atk, strings.Join(attack.Names(), ", "))
+		}
+	}
+	for _, def := range defenses {
+		if def == "none" || def == "" {
+			continue
+		}
+		if _, err := defense.NewPipeline(def, defense.Config{}); err != nil {
+			return nil, fmt.Errorf("experiments: sweep: %w", err)
 		}
 	}
 	for _, atk := range attacks {

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"github.com/oasisfl/oasis/internal/attack"
+	"github.com/oasisfl/oasis/internal/defense"
 )
 
 // TestSweepGoldenDeterminism is the acceptance bar for the sweep harness,
@@ -16,9 +17,11 @@ func TestSweepGoldenDeterminism(t *testing.T) {
 	cfg := SweepConfig{Quick: true}
 	if testing.Short() {
 		// Short mode trims the grid, not the guarantee: 2 attacks × 2
-		// defenses across all three worker counts.
+		// defenses across all three worker counts. One column stays a
+		// composed pipeline so the layered-defense cell is held to the same
+		// byte-identical bar.
 		cfg.Attacks = []string{"rtf", "qbi"}
-		cfg.Defenses = []string{"none", "prune:0.3"}
+		cfg.Defenses = []string{"none", "oasis:MR|dpsgd:1,0.1"}
 	}
 	var golden []byte
 	for _, workers := range []int{1, 4, runtime.NumCPU()} {
@@ -98,6 +101,28 @@ func TestSweepRejectsUnknownAttack(t *testing.T) {
 	for _, kind := range attack.Names() {
 		if !strings.Contains(err.Error(), kind) {
 			t.Errorf("error %q does not list registered kind %q", err, kind)
+		}
+	}
+}
+
+// TestSweepRejectsBadDefenseUpFront: a malformed defense pipeline at the end
+// of the column list must fail before any cell runs, naming the offending
+// segment.
+func TestSweepRejectsBadDefenseUpFront(t *testing.T) {
+	_, err := RunSweep(SweepConfig{
+		Attacks:  []string{"rtf"},
+		Defenses: []string{"none", "oasis:MR|tinfoil"},
+		Quick:    true,
+	})
+	if err == nil {
+		t.Fatal("malformed defense pipeline accepted")
+	}
+	if !strings.Contains(err.Error(), "segment 2") {
+		t.Errorf("error %q does not name the offending segment", err)
+	}
+	for _, kind := range defense.Names() {
+		if !strings.Contains(err.Error(), kind) {
+			t.Errorf("error %q does not list registered defense kind %q", err, kind)
 		}
 	}
 }

@@ -32,8 +32,10 @@
 //	    "base_delay_ms": 5             // floor everyone pays
 //	  },
 //	  "defense": {
-//	    "kind": "oasis:MR",            // oasis:<policy> | dpsgd:<clip>,<sigma> |
-//	    "fraction": 0.3                //   prune:<keep> | ats:<policy>
+//	    "kind": "oasis:MR",            // any defense.Names() kind[:arg], or a
+//	                                   //   '|'-chained pipeline, e.g.
+//	                                   //   "oasis:MR|dpsgd:1,0.1"
+//	    "fraction": 0.3
 //	  },
 //	  "attack": {
 //	    "kind": "rtf",                 // any attack.Names() kind (rtf | cah |

@@ -9,7 +9,6 @@ import (
 	"time"
 
 	"github.com/oasisfl/oasis/internal/attack"
-	"github.com/oasisfl/oasis/internal/core"
 	"github.com/oasisfl/oasis/internal/data"
 	"github.com/oasisfl/oasis/internal/defense"
 	"github.com/oasisfl/oasis/internal/fl"
@@ -85,14 +84,18 @@ func run(sc Scenario, opts Options) (*Report, error) {
 		return nil, err
 	}
 
-	var defSpec defenseSpec
 	defended := make([]bool, sc.Clients)
 	nDefended := 0
+	defenseLabel := ""
 	if sc.Defense.Kind != "" {
-		defSpec, err = parseDefense(sc.Defense.Kind)
+		// A parse-only pipeline resolves the report label (its composite
+		// Name shows resolved parameters); per-client instances with their
+		// own seeded streams are built in the population loop below.
+		label, err := defense.NewPipeline(sc.Defense.Kind, defense.Config{})
 		if err != nil {
 			return nil, err
 		}
+		defenseLabel = label.Name()
 		nDefended = int(math.Round(sc.Defense.Fraction * float64(sc.Clients)))
 		for _, idx := range rng.Perm(sc.Clients)[:nDefended] {
 			defended[idx] = true
@@ -112,28 +115,16 @@ func run(sc Scenario, opts Options) (*Report, error) {
 		lc.LocalSteps = sc.LocalSteps
 		rec := &batchRecorder{}
 		if defended[i] {
-			switch defSpec.kind {
-			case "oasis":
-				rec.inner = core.New(defSpec.policy)
-			case "dpsgd":
-				gd, err := defense.NewDPSGD(defSpec.clip, defSpec.sigma, nn.RandSource(sc.Seed+2, uint64(i)))
-				if err != nil {
-					return nil, err
-				}
-				lc.GradDef = gd
-			case "prune":
-				gd, err := defense.NewPruning(defSpec.keep)
-				if err != nil {
-					return nil, err
-				}
-				lc.GradDef = gd
-			case "ats":
-				ats, err := defense.NewATS(defSpec.policy, nn.RandSource(sc.Seed+2, uint64(i)))
-				if err != nil {
-					return nil, err
-				}
-				rec.inner = atsPreprocessor{ats}
+			// Each defended client gets its own pipeline instance over a
+			// per-client seeded stream: stochastic stages (DPSGD, ATS) are
+			// stateful and must not be shared across concurrent clients.
+			pl, err := defense.NewPipeline(sc.Defense.Kind,
+				defense.Config{Rng: nn.RandSource(sc.Seed+2, uint64(i))})
+			if err != nil {
+				return nil, err
 			}
+			rec.inner = defense.BatchAdapter{D: pl}
+			lc.GradDef = defense.GradAdapter{D: pl}
 		}
 		lc.Pre = rec
 		population[i] = &simClient{
@@ -201,7 +192,7 @@ func run(sc Scenario, opts Options) (*Report, error) {
 		Partition:  partitioner.Name(),
 		Sampler:    server.Sampler.Name(),
 		Aggregator: server.Aggregator.Name(),
-		Defense:    sc.Defense.Kind,
+		Defense:    defenseLabel,
 		Defended:   nDefended,
 		Attack:     sc.Attack.Kind,
 		ShardSizes: shardStats(parts),
@@ -254,15 +245,6 @@ func buildModel(sc Scenario, ds data.Dataset) (*nn.Sequential, bool, error) {
 		return nil, false, fmt.Errorf("sim: unknown model kind %q", sc.Model.Kind)
 	}
 }
-
-// atsPreprocessor adapts the ATS replacement defense to the client-side
-// BatchPreprocessor slot (ATS.Apply cannot fail, the slot's can).
-type atsPreprocessor struct {
-	ats *defense.ATS
-}
-
-func (a atsPreprocessor) Apply(b *data.Batch) (*data.Batch, error) { return a.ats.Apply(b), nil }
-func (a atsPreprocessor) Name() string                             { return a.ats.Name() }
 
 // buildAttack calibrates the scheduled dishonest server through the attack
 // registry, so every registered family is a valid scenario kind.

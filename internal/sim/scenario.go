@@ -5,12 +5,11 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"strconv"
 	"strings"
 
 	"github.com/oasisfl/oasis/internal/attack"
-	"github.com/oasisfl/oasis/internal/augment"
 	"github.com/oasisfl/oasis/internal/data"
+	"github.com/oasisfl/oasis/internal/defense"
 	"github.com/oasisfl/oasis/internal/fl"
 )
 
@@ -81,12 +80,18 @@ type StragglerSpec struct {
 }
 
 // DefenseSpec assigns a client-side defense to a fraction of the population
-// (chosen uniformly at the scenario seed). Kind is one of:
+// (chosen uniformly at the scenario seed). Kind is a defense pipeline spec
+// resolved by the internal/defense registry: one "kind[:arg]" segment or an
+// ordered '|'-chain of them, e.g.
 //
-//	oasis:<policy>        OASIS batch augmentation (MR, mR, SH, HFlip, VFlip, MR+SH)
-//	dpsgd:<clip>,<sigma>  DP-SGD gradient clipping + noise (per-client state)
-//	prune:<keep>          gradient sparsification keeping the top fraction
-//	ats:<policy>          transformation replacement (Gao et al.); per-client RNG
+//	oasis:<policy>         OASIS batch augmentation (MR, mR, SH, HFlip, VFlip, MR+SH)
+//	dpsgd:<clip>,<sigma>   DP-SGD gradient clipping + noise (per-client state)
+//	prune:<keep>           gradient sparsification keeping the top fraction
+//	ats:<policy>           transformation replacement (Gao et al.); per-client RNG
+//	oasis:MR|dpsgd:1,0.1   stacked: batch augmentation plus gradient noise
+//
+// Any kind added via defense.Register is equally valid; validation errors
+// list defense.Names() dynamically.
 type DefenseSpec struct {
 	Kind     string  `json:"kind,omitempty"`
 	Fraction float64 `json:"fraction,omitempty"` // default 1 when Kind is set
@@ -223,7 +228,10 @@ func (s Scenario) Validate() error {
 		if s.Defense.Fraction < 0 || s.Defense.Fraction > 1 {
 			return fail("defense.fraction must be in [0, 1], got %g", s.Defense.Fraction)
 		}
-		if _, err := parseDefense(s.Defense.Kind); err != nil {
+		// The registry resolves the pipeline spec, so every registered
+		// defense kind — built-in or custom — is a valid scenario defense
+		// and unknown-kind errors list defense.Names() without going stale.
+		if _, err := defense.NewPipeline(s.Defense.Kind, defense.Config{}); err != nil {
 			return fail("%v", err)
 		}
 	}
@@ -258,59 +266,6 @@ func (s Scenario) Validate() error {
 		return fail("eval_every and test_samples must be ≥ 0")
 	}
 	return nil
-}
-
-// defenseSpec is a parsed DefenseSpec.Kind.
-type defenseSpec struct {
-	kind   string // "oasis" | "dpsgd" | "prune" | "ats"
-	policy augment.Policy
-	clip   float64
-	sigma  float64
-	keep   float64
-}
-
-// parseDefense resolves a DefenseSpec.Kind string.
-func parseDefense(kind string) (defenseSpec, error) {
-	name, arg, _ := strings.Cut(kind, ":")
-	switch name {
-	case "oasis":
-		p, err := augment.ByName(arg)
-		if err != nil {
-			return defenseSpec{}, fmt.Errorf("sim: defense %q: %w", kind, err)
-		}
-		if p == nil {
-			return defenseSpec{}, fmt.Errorf("sim: defense %q is the no-defense baseline; omit the defense instead", kind)
-		}
-		return defenseSpec{kind: "oasis", policy: p}, nil
-	case "dpsgd":
-		clipStr, sigmaStr, ok := strings.Cut(arg, ",")
-		if !ok {
-			return defenseSpec{}, fmt.Errorf("sim: defense %q: want dpsgd:<clip>,<sigma>", kind)
-		}
-		clip, err1 := strconv.ParseFloat(clipStr, 64)
-		sigma, err2 := strconv.ParseFloat(sigmaStr, 64)
-		if err1 != nil || err2 != nil || clip <= 0 || sigma < 0 {
-			return defenseSpec{}, fmt.Errorf("sim: defense %q: want dpsgd:<clip>,<sigma> with clip > 0, sigma ≥ 0", kind)
-		}
-		return defenseSpec{kind: "dpsgd", clip: clip, sigma: sigma}, nil
-	case "prune":
-		keep, err := strconv.ParseFloat(arg, 64)
-		if err != nil || keep <= 0 || keep > 1 {
-			return defenseSpec{}, fmt.Errorf("sim: defense %q: want prune:<keep> with keep in (0, 1]", kind)
-		}
-		return defenseSpec{kind: "prune", keep: keep}, nil
-	case "ats":
-		p, err := augment.ByName(arg)
-		if err != nil {
-			return defenseSpec{}, fmt.Errorf("sim: defense %q: %w", kind, err)
-		}
-		if p == nil {
-			return defenseSpec{}, fmt.Errorf("sim: defense %q needs a transformation policy to replace with", kind)
-		}
-		return defenseSpec{kind: "ats", policy: p}, nil
-	default:
-		return defenseSpec{}, fmt.Errorf("sim: unknown defense kind %q (want oasis:<policy>, dpsgd:<clip>,<sigma>, prune:<keep>, or ats:<policy>)", kind)
-	}
 }
 
 // Decode reads a JSON scenario; unknown fields are errors so typos in specs

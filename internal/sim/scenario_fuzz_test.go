@@ -7,6 +7,9 @@ import (
 	"testing"
 
 	"github.com/oasisfl/oasis/internal/attack"
+	"github.com/oasisfl/oasis/internal/data"
+	"github.com/oasisfl/oasis/internal/defense"
+	"github.com/oasisfl/oasis/internal/tensor"
 )
 
 // validBase is a minimal scenario every corpus entry mutates from.
@@ -48,9 +51,16 @@ func TestScenarioValidationCorpus(t *testing.T) {
 		{"explicit-round-outside", func(s *Scenario) { s.Attack.Rounds = []int{9} }, "never strikes"},
 		{"defense-prune", func(s *Scenario) { s.Defense = DefenseSpec{Kind: "prune:0.3"} }, ""},
 		{"defense-ats", func(s *Scenario) { s.Defense = DefenseSpec{Kind: "ats:MR"} }, ""},
-		{"defense-prune-bad-keep", func(s *Scenario) { s.Defense = DefenseSpec{Kind: "prune:1.5"} }, "prune"},
+		{"defense-prune-bad-keep", func(s *Scenario) { s.Defense = DefenseSpec{Kind: "prune:1.5"} }, "pruning"},
 		{"defense-ats-bad-policy", func(s *Scenario) { s.Defense = DefenseSpec{Kind: "ats:bogus"} }, "ats:bogus"},
-		{"defense-unknown", func(s *Scenario) { s.Defense = DefenseSpec{Kind: "tinfoil"} }, "unknown defense kind"},
+		{"defense-unknown", func(s *Scenario) { s.Defense = DefenseSpec{Kind: "tinfoil"} }, "unknown kind"},
+		{"defense-pipeline", func(s *Scenario) { s.Defense = DefenseSpec{Kind: "oasis:MR|dpsgd:1,0.1"} }, ""},
+		{"defense-pipeline-triple", func(s *Scenario) { s.Defense = DefenseSpec{Kind: "ats:SH|prune:0.5|dpsgd:2,0.3"} }, ""},
+		{"defense-pipeline-duplicate-stage", func(s *Scenario) { s.Defense = DefenseSpec{Kind: "prune:0.3|prune:0.3"} }, ""},
+		{"defense-pipeline-empty-segment", func(s *Scenario) { s.Defense = DefenseSpec{Kind: "oasis:MR||prune:0.5"} }, "segment 2 is empty"},
+		{"defense-pipeline-trailing-bar", func(s *Scenario) { s.Defense = DefenseSpec{Kind: "oasis:MR|"} }, "segment 2 is empty"},
+		{"defense-pipeline-only-bar", func(s *Scenario) { s.Defense = DefenseSpec{Kind: "|"} }, "segment 1 is empty"},
+		{"defense-pipeline-bad-tail", func(s *Scenario) { s.Defense = DefenseSpec{Kind: "oasis:MR|dpsgd:1"} }, "segment 2"},
 		{"no-clients", func(s *Scenario) { s.Clients = 0 }, "clients must be > 0"},
 		{"negative-rounds", func(s *Scenario) { s.Rounds = -1 }, "rounds must be > 0"},
 	}
@@ -87,6 +97,67 @@ func TestUnknownAttackErrorListsRegistry(t *testing.T) {
 	}
 	if strings.Contains(err.Error(), "want rtf or cah") {
 		t.Error("validation error still hard-codes the pre-registry kinds")
+	}
+}
+
+// TestUnknownDefenseErrorListsRegistry pins the defense counterpart of the
+// stale-message fix: the validation error must name every registered defense
+// family dynamically, not a hard-coded list.
+func TestUnknownDefenseErrorListsRegistry(t *testing.T) {
+	sc := validBase()
+	sc.Defense = DefenseSpec{Kind: "tinfoil"}
+	_, err := sc.Normalize()
+	if err == nil {
+		t.Fatal("unknown defense kind accepted")
+	}
+	for _, kind := range defense.Names() {
+		if !strings.Contains(err.Error(), kind) {
+			t.Errorf("validation error %q does not list registered kind %q", err, kind)
+		}
+	}
+	if strings.Contains(err.Error(), "want oasis:<policy>, dpsgd:<clip>,<sigma>") {
+		t.Error("validation error still hard-codes the pre-registry kinds")
+	}
+}
+
+// TestCustomDefenseAcceptedInScenario is the open-extension acceptance bar:
+// a defense registered by a library user must immediately be a valid
+// scenario kind — standalone and as a pipeline segment — with no sim-side
+// switch to update, and must run end to end.
+func TestCustomDefenseAcceptedInScenario(t *testing.T) {
+	err := defense.Register("halve", func(arg string, cfg defense.Config) (defense.Defense, error) {
+		return halveDefense{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := validBase()
+	sc.Defense = DefenseSpec{Kind: "halve"}
+	if _, err := sc.Normalize(); err != nil {
+		t.Fatalf("custom defense kind rejected: %v", err)
+	}
+	sc.Defense = DefenseSpec{Kind: "oasis:MR|halve", Fraction: 1}
+	norm, err := sc.Normalize()
+	if err != nil {
+		t.Fatalf("custom defense rejected as pipeline segment: %v", err)
+	}
+	rep, err := Run(norm, Options{Quick: true, Workers: 2})
+	if err != nil {
+		t.Fatalf("scenario with custom defense failed to run: %v", err)
+	}
+	if rep.Defense != "oasis(MR)|halve" {
+		t.Errorf("report label %q, want resolved pipeline name oasis(MR)|halve", rep.Defense)
+	}
+}
+
+// halveDefense is the custom test defense: a gradient-stage scaler.
+type halveDefense struct{}
+
+func (halveDefense) Name() string                         { return "halve" }
+func (halveDefense) ApplyBatch(b *data.Batch) *data.Batch { return b }
+func (halveDefense) ApplyGrads(grads []*tensor.Tensor) {
+	for _, g := range grads {
+		g.ScaleInPlace(0.5)
 	}
 }
 
@@ -156,10 +227,20 @@ func FuzzScenarioDecode(f *testing.F) {
 	window := validBase()
 	window.Attack.Rounds = []int{99}
 	seed(window)
+	composed := validBase()
+	composed.Defense = DefenseSpec{Kind: "oasis:MR|dpsgd:1,0.1", Fraction: 0.5}
+	seed(composed)
+	duplicate := validBase()
+	duplicate.Defense = DefenseSpec{Kind: "prune:0.3|prune:0.3"}
+	seed(duplicate)
 	f.Add([]byte(`{"name":"x","attack":{"kind":"qbi","neurons":1e9}}`))
 	f.Add([]byte(`{"clients":1,"rounds":1,"dataset":{"classes":2,"channels":1,"height":1,"width":1,"samples":1}}`))
 	f.Add([]byte(`{`))
 	f.Add([]byte(`{"unknown_field":true}`))
+	f.Add([]byte(`{"name":"p","clients":2,"rounds":1,"dataset":{"classes":2,"channels":1,"height":4,"width":4,"samples":8},"defense":{"kind":"|"}}`))
+	f.Add([]byte(`{"name":"p","clients":2,"rounds":1,"dataset":{"classes":2,"channels":1,"height":4,"width":4,"samples":8},"defense":{"kind":"oasis:MR||ats:SH"}}`))
+	f.Add([]byte(`{"name":"p","clients":2,"rounds":1,"dataset":{"classes":2,"channels":1,"height":4,"width":4,"samples":8},"defense":{"kind":"dpsgd:1,0.1|dpsgd:1,0.1|dpsgd:1,0.1"}}`))
+	f.Add([]byte(`{"name":"p","clients":2,"rounds":1,"dataset":{"classes":2,"channels":1,"height":4,"width":4,"samples":8},"defense":{"kind":"oasis:MR|"}}`))
 
 	f.Fuzz(func(t *testing.T, raw []byte) {
 		sc, err := Decode(bytes.NewReader(raw))

@@ -246,6 +246,33 @@ func TestDefenseLowersAttackPSNR(t *testing.T) {
 	}
 }
 
+// TestReportDefenseLabelResolved pins the label bugfix: Report.Defense must
+// carry the constructed pipeline's Name() — resolved parameters, not the raw
+// spec string — for single defenses and composed pipelines alike.
+func TestReportDefenseLabelResolved(t *testing.T) {
+	sc, _ := Preset("smoke")
+	sc.Defense = DefenseSpec{Kind: "oasis:MR|dpsgd:1,0.1", Fraction: 0.5}
+	rep, err := Run(sc, Options{Quick: true, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "oasis(MR)|dpsgd(σ=0.1)"; rep.Defense != want {
+		t.Errorf("composed report label = %q, want %q", rep.Defense, want)
+	}
+	if !strings.Contains(rep.String(), "oasis(MR)|dpsgd(σ=0.1)") {
+		t.Error("report summary does not show the resolved pipeline label")
+	}
+
+	sc.Defense = DefenseSpec{Kind: "prune:0.3", Fraction: 1}
+	rep, err = Run(sc, Options{Quick: true, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "prune(keep=0.3)"; rep.Defense != want {
+		t.Errorf("single-stage report label = %q, want %q", rep.Defense, want)
+	}
+}
+
 // TestQuickModeRejectsOutOfWindowAttack: quick's round cap must not silently
 // drop a scheduled attack.
 func TestQuickModeRejectsOutOfWindowAttack(t *testing.T) {

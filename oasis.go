@@ -150,7 +150,59 @@ func NewLinearAttack(ds Dataset) *LinearAttack {
 // malicious layer (w, b as produced by an attack's Layer method).
 var AnalyzeProp1 = core.AnalyzeProp1
 
-// Baseline defenses (§V comparisons).
+// Composable defense registry. Every client-side defense — OASIS, the §V
+// baselines, and custom registered families — sits behind one two-stage
+// contract (rewrite the batch before training, transform the gradients
+// before upload) and resolves from a "kind[:arg]" spec, or an ordered
+// '|'-chain of them, e.g. "oasis:MR|dpsgd:1,0.1".
+type (
+	// ClientDefense is the unified two-stage defense contract
+	// (ApplyBatch/ApplyGrads/Name); pipelines and every registered kind
+	// implement it.
+	ClientDefense = defense.Defense
+	// DefensePipeline chains registered defenses in order; its Name() is
+	// the deterministic composite label, e.g. "oasis(MR)|dpsgd(σ=0.1)".
+	DefensePipeline = defense.Pipeline
+	// DefenseConfig seeds stochastic defense stages (per-client streams).
+	DefenseConfig = defense.Config
+	// DefenseConstructor builds one registered defense kind from its spec
+	// argument.
+	DefenseConstructor = defense.Constructor
+)
+
+// NewDefensePipeline parses a defense pipeline spec ("prune:0.3", or a chain
+// like "oasis:MR|dpsgd:1,0.1") into an ordered two-stage chain. Stochastic
+// stages draw from rng; give every client its own generator (nil is allowed
+// for parse-only validation). Unknown kinds error with DefenseNames().
+func NewDefensePipeline(spec string, rng *rand.Rand) (*DefensePipeline, error) {
+	return defense.NewPipeline(spec, defense.Config{Rng: rng})
+}
+
+// ComposeDefenses builds a pipeline directly from constructed defenses.
+func ComposeDefenses(stages ...ClientDefense) *DefensePipeline { return defense.Compose(stages...) }
+
+// DefenseNames lists the registered defense kinds NewDefensePipeline accepts
+// as pipeline segments.
+func DefenseNames() []string { return defense.Names() }
+
+// RegisterDefense adds a custom defense family to the registry; it then
+// becomes a valid scenario defense kind, sweep grid column, and pipeline
+// segment.
+func RegisterDefense(kind string, ctor DefenseConstructor) error {
+	return defense.Register(kind, ctor)
+}
+
+// AttachDefense wires a defense's two stages into a federated client: the
+// batch stage becomes the client's preprocessor and the gradient stage its
+// upload transform. Stateful defenses (DPSGD, ATS) must not be attached to
+// more than one client; build one pipeline per client.
+func AttachDefense(c *FLLocalClient, d ClientDefense) {
+	c.Pre = defense.BatchAdapter{D: d}
+	c.GradDef = defense.GradAdapter{D: d}
+}
+
+// Baseline defenses (§V comparisons), kept as thin shims over the registry
+// kinds "dpsgd", "prune", and "ats".
 type (
 	// DPSGDDefense clips and noises gradients (Abadi et al.).
 	DPSGDDefense = defense.DPSGD

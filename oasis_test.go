@@ -190,6 +190,58 @@ func TestBaselineDefenseConstructors(t *testing.T) {
 	}
 }
 
+func TestDefensePipelineFacade(t *testing.T) {
+	pl, err := NewDefensePipeline("oasis:MR|dpsgd:1,0.1", NewRand(5, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "oasis(MR)|dpsgd(σ=0.1)"; pl.Name() != want {
+		t.Errorf("pipeline name %q, want %q", pl.Name(), want)
+	}
+	if n := len(pl.StageNames()); n != 2 {
+		t.Errorf("%d stages, want 2", n)
+	}
+	if _, err := NewDefensePipeline("oasis:MR|tinfoil", nil); err == nil {
+		t.Error("malformed pipeline accepted")
+	}
+
+	names := DefenseNames()
+	for _, want := range []string{"oasis", "dpsgd", "prune", "ats"} {
+		found := false
+		for _, n := range names {
+			found = found || n == want
+		}
+		if !found {
+			t.Errorf("DefenseNames() %v missing built-in %q", names, want)
+		}
+	}
+
+	// The pipeline attaches to a federated client and the client still
+	// trains: the batch stage expands D, the gradient stage noises uploads.
+	ds := NewSynthDataset("def-api", 4, 1, 8, 8, 64, 9)
+	client := NewFLClient("c0", ds, 4, NewRand(9, 1))
+	AttachDefense(client, pl)
+	if client.Pre == nil || client.GradDef == nil {
+		t.Fatal("AttachDefense left a stage unwired")
+	}
+	if client.Pre.Name() != pl.Name() || client.GradDef.Name() != pl.Name() {
+		t.Error("attached stages do not carry the pipeline label")
+	}
+
+	// Custom registration flows through the public surface into pipelines.
+	if err := RegisterDefense("facade-test", func(arg string, cfg DefenseConfig) (ClientDefense, error) {
+		return ComposeDefenses(), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewDefensePipeline("facade-test|prune:0.5", nil); err != nil {
+		t.Errorf("registered custom kind rejected in a pipeline: %v", err)
+	}
+	if err := RegisterDefense("facade-test", nil); err == nil {
+		t.Error("duplicate/nil registration accepted")
+	}
+}
+
 func TestUniqueLabelBatchFacade(t *testing.T) {
 	ds := NewSynthCIFAR100(6)
 	rng := NewRand(6, 6)
