@@ -1,26 +1,35 @@
 // Command oasis-sweep evaluates the full attack × defense grid: every
 // registered reconstruction attack (rtf, cah, qbi, loki, …) against the
 // undefended baseline, the §V defense families, and composed defense
-// pipelines, one scenario run per cell, reported as mean PSNR/SSIM per cell.
+// pipelines, one scenario run per (cell, replicate), reported as mean±std
+// PSNR/SSIM per cell.
 //
 // -attacks and -defenses select grid subsets; a defense column is any
-// registry pipeline spec, so layered cells are one flag away:
+// registry pipeline spec, so layered cells are one flag away. -replicates
+// re-runs every cell at derived seeds and -cell-workers bounds how many
+// cell runs execute concurrently (distinct from -workers, the per-cell
+// client concurrency):
 //
 //	oasis-sweep                                  # default grid (incl. a composed column)
 //	oasis-sweep -attacks rtf,qbi -defenses none,prune:0.3
 //	oasis-sweep -defenses "none;oasis:MR|dpsgd:1,0.1;ats:SH|prune:0.5"
+//	oasis-sweep -replicates 5 -cell-workers 8    # mean±std over 5 seeds, 8 cells in flight
 //	oasis-sweep -scenario base.json -workers 8 -out results
+//	oasis-sweep -quick -bench BENCH_sweep.json   # sequential-vs-parallel wall-clock
 //
 // The report is deterministic: for a fixed seed the JSON is byte-identical
-// for every -workers value.
+// for every -workers and -cell-workers value.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"time"
 
 	"github.com/oasisfl/oasis/internal/attack"
 	"github.com/oasisfl/oasis/internal/defense"
@@ -42,9 +51,12 @@ func run() error {
 		defenses     = flag.String("defenses", "", "defense pipeline specs, ';'-separated (',' also works when no spec needs a comma); each is a '|'-chain of "+strings.Join(defense.Names(), "/")+" segments (default: "+strings.Join(experiments.DefaultSweepDefenses(), " ; ")+")")
 		neurons      = flag.Int("neurons", 0, "override the base scenario's attacked neurons (0 = keep)")
 		seed         = flag.Uint64("seed", 0, "override the base scenario seed (0 = keep)")
+		replicates   = flag.Int("replicates", 1, "re-run every cell at this many derived seeds, reporting mean±std")
 		workers      = flag.Int("workers", 0, "max clients trained concurrently per cell (0 = NumCPU)")
+		cellWorkers  = flag.Int("cell-workers", 0, "max cell×replicate runs in flight (0 = NumCPU, 1 = sequential)")
 		quick        = flag.Bool("quick", false, "CI scale: cap rounds and eval per cell")
 		outDir       = flag.String("out", "", "directory for sweep.json and sweep.csv")
+		benchPath    = flag.String("bench", "", "benchmark mode: run the grid at -cell-workers 1 vs NumCPU and write wall-clock/cells-per-sec JSON here")
 		quiet        = flag.Bool("q", false, "suppress per-cell progress")
 	)
 	flag.Parse()
@@ -65,41 +77,125 @@ func run() error {
 	}
 
 	cfg := experiments.SweepConfig{
-		Base:     base,
-		Attacks:  splitList(*attacks, ","),
-		Defenses: splitDefenses(*defenses),
-		Workers:  *workers,
-		Quick:    *quick,
+		Base:        base,
+		Attacks:     splitList(*attacks, ","),
+		Defenses:    splitDefenses(*defenses),
+		Replicates:  *replicates,
+		Workers:     *workers,
+		CellWorkers: *cellWorkers,
+		Quick:       *quick,
 	}
 	if !*quiet {
 		cfg.Log = os.Stderr
 	}
+	if *benchPath != "" {
+		return runBench(cfg, *benchPath, *outDir)
+	}
 	report, err := experiments.RunSweep(cfg)
 	if err != nil {
+		dumpPartial(report, err)
 		return err
 	}
 	fmt.Print(report.Table().String())
 	fmt.Print(report.CellTable().String())
+	return writeArtifacts(report, *outDir)
+}
 
-	if *outDir != "" {
-		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+// dumpPartial prints the completed cells a failed sweep still returned, so
+// the grid work done before the failure is not lost with the exit.
+func dumpPartial(report *experiments.SweepReport, err error) {
+	if err == nil || report == nil || len(report.Cells) == 0 {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "oasis-sweep: %d cell(s) completed before the failure:\n", len(report.Cells))
+	fmt.Fprint(os.Stderr, report.CellTable().String())
+}
+
+// writeArtifacts saves sweep.json and sweep.csv when an -out directory was
+// given.
+func writeArtifacts(report *experiments.SweepReport, outDir string) error {
+	if outDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	raw, err := report.JSON()
+	if err != nil {
+		return err
+	}
+	jsonPath := filepath.Join(outDir, "sweep.json")
+	if err := os.WriteFile(jsonPath, raw, 0o644); err != nil {
+		return err
+	}
+	csvPath := filepath.Join(outDir, "sweep.csv")
+	if err := os.WriteFile(csvPath, []byte(report.Table().CSV()), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s and %s\n", jsonPath, csvPath)
+	return nil
+}
+
+// benchRun is one timed grid evaluation at a fixed cell-level worker count.
+type benchRun struct {
+	CellWorkers int     `json:"cell_workers"`
+	Seconds     float64 `json:"seconds"`
+	CellsPerSec float64 `json:"cells_per_sec"`
+}
+
+// runBench times the configured grid sequentially (cell-workers 1) and in
+// parallel (NumCPU), checks the two reports are byte-identical, and writes
+// the wall-clock comparison as JSON — the repo's sweep perf trajectory. An
+// -out directory is honored too (artifacts from the identical reports).
+func runBench(cfg experiments.SweepConfig, path, outDir string) error {
+	cfg.Log = nil // progress noise would be timed
+	out := struct {
+		Scenario   string     `json:"scenario"`
+		Cells      int        `json:"cells"`
+		Replicates int        `json:"replicates"`
+		Runs       []benchRun `json:"runs"`
+		Speedup    float64    `json:"speedup"`
+	}{}
+	var golden []byte
+	var goldenReport *experiments.SweepReport
+	// max(2, NumCPU) keeps the parallel leg a real pool even on one core.
+	for _, cw := range []int{1, max(2, runtime.NumCPU())} {
+		cfg.CellWorkers = cw
+		start := time.Now()
+		report, err := experiments.RunSweep(cfg)
+		if err != nil {
+			dumpPartial(report, err)
 			return err
 		}
+		secs := time.Since(start).Seconds()
 		raw, err := report.JSON()
 		if err != nil {
 			return err
 		}
-		jsonPath := filepath.Join(*outDir, "sweep.json")
-		if err := os.WriteFile(jsonPath, raw, 0o644); err != nil {
-			return err
+		if golden == nil {
+			golden = raw
+			goldenReport = report
+			out.Scenario = report.Scenario
+			out.Cells = len(report.Cells)
+			out.Replicates = report.Replicates
+		} else if string(golden) != string(raw) {
+			return fmt.Errorf("bench: report JSON diverges between cell-workers 1 and %d", cw)
 		}
-		csvPath := filepath.Join(*outDir, "sweep.csv")
-		if err := os.WriteFile(csvPath, []byte(report.Table().CSV()), 0o644); err != nil {
-			return err
-		}
-		fmt.Printf("wrote %s and %s\n", jsonPath, csvPath)
+		runs := float64(len(report.Cells) * report.Replicates)
+		out.Runs = append(out.Runs, benchRun{CellWorkers: cw, Seconds: secs, CellsPerSec: runs / secs})
 	}
-	return nil
+	out.Speedup = out.Runs[0].Seconds / out.Runs[1].Seconds
+	raw, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("sweep bench: %d cell runs — sequential %.2fs, %d cell-workers %.2fs (%.2fx); wrote %s\n",
+		out.Cells*out.Replicates, out.Runs[0].Seconds, out.Runs[1].CellWorkers, out.Runs[1].Seconds,
+		out.Speedup, path)
+	return writeArtifacts(goldenReport, outDir)
 }
 
 // splitList parses a separated flag into its non-empty items.

@@ -6,11 +6,14 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"sync"
 
 	"github.com/oasisfl/oasis/internal/attack"
 	"github.com/oasisfl/oasis/internal/defense"
 	"github.com/oasisfl/oasis/internal/metrics"
+	"github.com/oasisfl/oasis/internal/nn"
 	"github.com/oasisfl/oasis/internal/sim"
 )
 
@@ -24,9 +27,9 @@ func DefaultSweepDefenses() []string {
 }
 
 // SweepConfig shapes an attack×defense grid evaluation. Every cell runs the
-// same base scenario with only the attack kind and defense spec overridden,
-// so the grid isolates the attack/defense interaction from population
-// effects.
+// same base scenario with only the attack kind, defense spec, and replicate
+// seed overridden, so the grid isolates the attack/defense interaction from
+// population effects.
 type SweepConfig struct {
 	// Base is the scenario every cell runs; its Attack schedule (neurons,
 	// rounds) is kept and only Attack.Kind is overridden per cell. Zero
@@ -40,81 +43,120 @@ type SweepConfig struct {
 	// "oasis:MR|dpsgd:1,0.1"; "none" (or "") is the undefended baseline
 	// (default: DefaultSweepDefenses()).
 	Defenses []string
-	// Workers bounds client concurrency inside each cell's scenario run;
-	// the report is bit-identical for every value (the PR2 guarantee holds
-	// cell-wise, and cells are evaluated in deterministic grid order).
+	// Replicates re-runs every (attack, defense) cell at this many derived
+	// seeds (ReplicateSeeds), turning single-seed point estimates into
+	// mean±std over independent populations. ≤1 means one run at the base
+	// seed.
+	Replicates int
+	// Workers bounds client concurrency inside each cell's scenario run
+	// (sim.Options.Workers) — the inner, per-cell knob.
 	Workers int
+	// CellWorkers bounds how many cell×replicate runs execute concurrently —
+	// the outer, grid-level knob (0 = NumCPU, 1 = sequential). Results merge
+	// in deterministic grid order, so the report is byte-identical for every
+	// value.
+	CellWorkers int
 	// Quick caps each cell's scenario for CI (sim.Options.Quick).
 	Quick bool
-	// Log receives per-cell progress lines; nil discards them.
+	// Log receives per-run progress lines; nil discards them. Writes are
+	// serialized, so any io.Writer is safe under cell concurrency.
 	Log io.Writer
 }
 
-// SweepCell is one (attack, defense) grid entry.
+// SweepCell is one (attack, defense) grid entry, aggregated over the
+// replicate seeds: capture/reconstruction totals and mean±std of the
+// per-replicate attack PSNR, SSIM, and final accuracy.
 type SweepCell struct {
 	Attack          string  `json:"attack"`
 	Defense         string  `json:"defense"`
 	Captures        int     `json:"captures"`
 	Reconstructions int     `json:"reconstructions"`
 	MeanPSNR        float64 `json:"mean_psnr"`
+	StdPSNR         float64 `json:"std_psnr"`
 	MeanSSIM        float64 `json:"mean_ssim"`
-	FinalAccuracy   float64 `json:"final_accuracy"`
+	StdSSIM         float64 `json:"std_ssim"`
+	MeanAccuracy    float64 `json:"mean_accuracy"`
+	StdAccuracy     float64 `json:"std_accuracy"`
 }
 
 // SweepReport is the structured outcome of an attack×defense sweep. For a
-// fixed base scenario seed it is bit-identical across SweepConfig.Workers
-// values.
+// fixed base scenario seed it is byte-identical across SweepConfig.Workers
+// and SweepConfig.CellWorkers values.
 type SweepReport struct {
-	Scenario string      `json:"scenario"`
-	Seed     uint64      `json:"seed"`
-	Attacks  []string    `json:"attacks"`
-	Defenses []string    `json:"defenses"`
-	Cells    []SweepCell `json:"cells"`
+	Scenario   string      `json:"scenario"`
+	Seed       uint64      `json:"seed"`
+	Replicates int         `json:"replicates"`
+	Seeds      []uint64    `json:"seeds"`
+	Attacks    []string    `json:"attacks"`
+	Defenses   []string    `json:"defenses"`
+	Cells      []SweepCell `json:"cells"`
 }
 
 // JSON renders the report as indented JSON.
 func (r *SweepReport) JSON() ([]byte, error) { return json.MarshalIndent(r, "", "  ") }
 
+// cellKey indexes a report's cells by grid coordinates.
+func cellKey(attack, defense string) string { return attack + "\x00" + defense }
+
 // Table renders the grid as one metrics table: a row per attack, a
-// "PSNR dB / SSIM" cell per defense.
+// "PSNR dB / SSIM" cell per defense (each "mean±std" when the sweep ran more
+// than one replicate). Absent cells — a partial report after a failed cell,
+// or a hand-trimmed cell list — render as "—" instead of masquerading as a
+// measured 0.0 / 0.000.
 func (r *SweepReport) Table() *metrics.Table {
 	header := append([]string{"attack"}, r.Defenses...)
 	t := metrics.NewTable(
-		fmt.Sprintf("Attack × defense sweep over scenario %q (per-cell mean PSNR dB / SSIM)", r.Scenario),
+		fmt.Sprintf("Attack × defense sweep over scenario %q (per-cell mean PSNR dB / SSIM, %d replicate(s))",
+			r.Scenario, max(r.Replicates, 1)),
 		header...)
 	byKey := make(map[string]SweepCell, len(r.Cells))
 	for _, c := range r.Cells {
-		byKey[c.Attack+"\x00"+c.Defense] = c
+		byKey[cellKey(c.Attack, c.Defense)] = c
 	}
 	for _, a := range r.Attacks {
 		row := []string{a}
 		for _, d := range r.Defenses {
-			c := byKey[a+"\x00"+d]
-			row = append(row, fmt.Sprintf("%.1f / %.3f", c.MeanPSNR, c.MeanSSIM))
+			c, ok := byKey[cellKey(a, d)]
+			switch {
+			case !ok:
+				row = append(row, "—")
+			case r.Replicates > 1:
+				row = append(row, fmt.Sprintf("%.1f±%.1f / %.3f±%.3f",
+					c.MeanPSNR, c.StdPSNR, c.MeanSSIM, c.StdSSIM))
+			default:
+				row = append(row, fmt.Sprintf("%.1f / %.3f", c.MeanPSNR, c.MeanSSIM))
+			}
 		}
 		t.AddRow(row...)
 	}
 	return t
 }
 
-// CellTable renders the flat per-cell detail (one row per grid entry).
+// CellTable renders the flat per-cell detail (one row per grid entry), with
+// the replicate spread only when one was actually measured (Replicates > 1),
+// matching Table().
 func (r *SweepReport) CellTable() *metrics.Table {
 	t := metrics.NewTable(
-		fmt.Sprintf("Sweep cells for scenario %q", r.Scenario),
-		"attack", "defense", "captures", "recon", "mean PSNR", "mean SSIM", "final acc")
+		fmt.Sprintf("Sweep cells for scenario %q over %d replicate(s)", r.Scenario, max(r.Replicates, 1)),
+		"attack", "defense", "captures", "recon", "PSNR", "SSIM", "accuracy")
 	for _, c := range r.Cells {
+		psnr, ssim, acc := fmt.Sprintf("%.1f", c.MeanPSNR),
+			fmt.Sprintf("%.3f", c.MeanSSIM), fmt.Sprintf("%.3f", c.MeanAccuracy)
+		if r.Replicates > 1 {
+			psnr = fmt.Sprintf("%s±%.1f", psnr, c.StdPSNR)
+			ssim = fmt.Sprintf("%s±%.3f", ssim, c.StdSSIM)
+			acc = fmt.Sprintf("%s±%.3f", acc, c.StdAccuracy)
+		}
 		t.AddRow(c.Attack, c.Defense,
 			fmt.Sprintf("%d", c.Captures),
 			fmt.Sprintf("%d", c.Reconstructions),
-			fmt.Sprintf("%.1f", c.MeanPSNR),
-			fmt.Sprintf("%.3f", c.MeanSSIM),
-			fmt.Sprintf("%.3f", c.FinalAccuracy))
+			psnr, ssim, acc)
 	}
 	return t
 }
 
 // DefaultSweepScenario is the base population the sweep grid runs when the
-// caller supplies none: small enough that the full 4×4 grid finishes in CI
+// caller supplies none: small enough that the full 4×5 grid finishes in CI
 // time, reliable (no dropout/stragglers) so every cell's PSNR measures the
 // attack/defense interaction and nothing else.
 func DefaultSweepScenario() sim.Scenario {
@@ -131,11 +173,46 @@ func DefaultSweepScenario() sim.Scenario {
 	}
 }
 
+// replicateSeedSalt keys the dedicated stream replicate seeds derive from.
+// The stream exists so the derivation can never collide with any scenario-
+// internal stream (which are all keyed off the scenario seed with their own
+// salts) and stays stable as those streams evolve.
+const replicateSeedSalt = 0x4e91_c0de
+
+// ReplicateSeeds derives the scenario seed for each of n replicates from the
+// base seed: replicate 0 runs the base seed itself (so Replicates:1
+// reproduces a plain single-seed sweep) and later replicates draw distinct
+// seeds from a dedicated keyed stream. The sequence is stable — growing n
+// extends it without changing earlier seeds.
+func ReplicateSeeds(base uint64, n int) []uint64 {
+	if n < 1 {
+		n = 1
+	}
+	seeds := make([]uint64, n)
+	seeds[0] = base
+	seen := map[uint64]bool{base: true}
+	rng := nn.RandSource(base, replicateSeedSalt)
+	for i := 1; i < n; i++ {
+		s := rng.Uint64()
+		for seen[s] { // astronomically rare; dedup keeps populations independent
+			s = rng.Uint64()
+		}
+		seen[s] = true
+		seeds[i] = s
+	}
+	return seeds
+}
+
 // RunSweep evaluates the attack×defense grid: every registered attack (or
 // cfg.Attacks) against every defense spec (or DefaultSweepDefenses), one
-// scenario run per cell, reported as PSNR/SSIM per cell. Cells run in
-// deterministic grid order and each scenario run is itself bit-identical
-// across worker counts, so the whole report is too.
+// scenario run per (cell, replicate), aggregated to mean±std per cell.
+// Cell×replicate runs dispatch onto a bounded pool of cfg.CellWorkers and
+// merge in deterministic grid order, so the report is byte-identical for
+// every CellWorkers (and per-cell Workers) value.
+//
+// On a cell failure the error is returned together with the partial report
+// holding every fully-completed cell in grid order, so callers can dump
+// finished work before exiting.
 func RunSweep(cfg SweepConfig) (*SweepReport, error) {
 	base := cfg.Base
 	if base.Clients == 0 {
@@ -149,11 +226,15 @@ func RunSweep(cfg SweepConfig) (*SweepReport, error) {
 	if len(defenses) == 0 {
 		defenses = DefaultSweepDefenses()
 	}
+	replicates := max(cfg.Replicates, 1)
+	seeds := ReplicateSeeds(base.Seed, replicates)
 	report := &SweepReport{
-		Scenario: base.Name,
-		Seed:     base.Seed,
-		Attacks:  attacks,
-		Defenses: defenses,
+		Scenario:   base.Name,
+		Seed:       base.Seed,
+		Replicates: replicates,
+		Seeds:      seeds,
+		Attacks:    attacks,
+		Defenses:   defenses,
 	}
 	// Validate both axes before the first cell runs, so a typo at the end of
 	// a list cannot discard minutes of completed grid work. Defense columns
@@ -172,33 +253,104 @@ func RunSweep(cfg SweepConfig) (*SweepReport, error) {
 			return nil, fmt.Errorf("experiments: sweep: %w", err)
 		}
 	}
-	for _, atk := range attacks {
-		for _, def := range defenses {
-			sc := base
-			sc.Attack.Kind = atk
-			if def == "none" || def == "" {
-				sc.Defense = sim.DefenseSpec{}
-			} else {
-				sc.Defense = sim.DefenseSpec{Kind: def, Fraction: 1}
+
+	// Dispatch cells×replicates onto the bounded cell-level pool. Each job
+	// owns a deep scenario copy (WithSeed), writes to its own result slot,
+	// and serializes progress lines, so jobs never share mutable state.
+	nCells := len(attacks) * len(defenses)
+	cellScenario := func(cell, rep int) (string, string, sim.Scenario) {
+		atk, def := attacks[cell/len(defenses)], defenses[cell%len(defenses)]
+		sc := base.WithSeed(seeds[rep])
+		sc.Attack.Kind = atk
+		if def == "none" || def == "" {
+			sc.Defense = sim.DefenseSpec{}
+		} else {
+			sc.Defense = sim.DefenseSpec{Kind: def, Fraction: 1}
+		}
+		return atk, def, sc
+	}
+	type job struct{ cell, rep int }
+	results := make([][]*sim.Report, nCells)
+	errs := make([][]error, nCells)
+	for i := range results {
+		results[i] = make([]*sim.Report, replicates)
+		errs[i] = make([]error, replicates)
+	}
+	workers := cfg.CellWorkers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	workers = min(workers, nCells*replicates)
+	jobs := make(chan job)
+	var wg sync.WaitGroup
+	var logMu sync.Mutex
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				atk, def, sc := cellScenario(j.cell, j.rep)
+				rep, err := sim.Run(sc, sim.Options{Quick: cfg.Quick, Workers: cfg.Workers})
+				if err != nil {
+					errs[j.cell][j.rep] = err
+					continue
+				}
+				results[j.cell][j.rep] = rep
+				if cfg.Log != nil {
+					logMu.Lock()
+					fmt.Fprintf(cfg.Log, "sweep %s × %s [seed %d]: %d recon, PSNR %.1f dB, SSIM %.3f\n",
+						atk, def, sc.Seed, rep.AttackReconstructions, rep.AttackMeanPSNR, rep.AttackMeanSSIM)
+					logMu.Unlock()
+				}
 			}
-			rep, err := sim.Run(sc, sim.Options{Quick: cfg.Quick, Workers: cfg.Workers})
-			if err != nil {
-				return nil, fmt.Errorf("experiments: sweep cell %s×%s: %w", atk, def, err)
-			}
-			report.Cells = append(report.Cells, SweepCell{
-				Attack:          atk,
-				Defense:         def,
-				Captures:        rep.AttackCaptures,
-				Reconstructions: rep.AttackReconstructions,
-				MeanPSNR:        rep.AttackMeanPSNR,
-				MeanSSIM:        rep.AttackMeanSSIM,
-				FinalAccuracy:   rep.FinalAccuracy,
-			})
-			if cfg.Log != nil {
-				fmt.Fprintf(cfg.Log, "sweep %s × %s: %d recon, PSNR %.1f dB, SSIM %.3f\n",
-					atk, def, rep.AttackReconstructions, rep.AttackMeanPSNR, rep.AttackMeanSSIM)
+		}()
+	}
+	for c := 0; c < nCells; c++ {
+		for r := 0; r < replicates; r++ {
+			jobs <- job{c, r}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	// Merge in deterministic grid order: cell content depends only on its
+	// own seeded runs, so the report is independent of scheduling. A failed
+	// cell is skipped (keeping completed cells dumpable) and the first
+	// failure in grid order becomes the returned error.
+	var firstErr error
+	for c := 0; c < nCells; c++ {
+		atk, def := attacks[c/len(defenses)], defenses[c%len(defenses)]
+		failed := false
+		for r := 0; r < replicates; r++ {
+			if err := errs[c][r]; err != nil {
+				failed = true
+				if firstErr == nil {
+					firstErr = fmt.Errorf("experiments: sweep cell %s×%s (seed %d): %w", atk, def, seeds[r], err)
+				}
+				break
 			}
 		}
+		if failed {
+			continue
+		}
+		cell := SweepCell{Attack: atk, Defense: def}
+		psnrs := make([]float64, 0, replicates)
+		ssims := make([]float64, 0, replicates)
+		accs := make([]float64, 0, replicates)
+		for _, rep := range results[c] {
+			cell.Captures += rep.AttackCaptures
+			cell.Reconstructions += rep.AttackReconstructions
+			psnrs = append(psnrs, rep.AttackMeanPSNR)
+			ssims = append(ssims, rep.AttackMeanSSIM)
+			accs = append(accs, rep.FinalAccuracy)
+		}
+		cell.MeanPSNR, cell.StdPSNR = metrics.Mean(psnrs), metrics.Std(psnrs)
+		cell.MeanSSIM, cell.StdSSIM = metrics.Mean(ssims), metrics.Std(ssims)
+		cell.MeanAccuracy, cell.StdAccuracy = metrics.Mean(accs), metrics.Std(accs)
+		report.Cells = append(report.Cells, cell)
+	}
+	if firstErr != nil {
+		return report, firstErr
 	}
 	return report, nil
 }
@@ -218,7 +370,7 @@ func Sweep(cfg Config) (*Result, error) {
 	grid := rep.Table()
 	res.Tables = append(res.Tables, grid, rep.CellTable())
 	res.Notes = append(res.Notes,
-		"grid JSON is bit-identical across -workers for a fixed seed; 'none' is the undefended ceiling")
+		"grid JSON is bit-identical across -workers and -cell-workers for a fixed seed; 'none' is the undefended ceiling")
 	if err := res.saveCSV(cfg, "sweep.csv", grid); err != nil {
 		return nil, err
 	}

@@ -2,33 +2,35 @@ package experiments
 
 import (
 	"bytes"
+	"errors"
 	"runtime"
 	"strings"
 	"testing"
 
-	"github.com/oasisfl/oasis/internal/attack"
 	"github.com/oasisfl/oasis/internal/defense"
 )
 
-// TestSweepGoldenDeterminism is the acceptance bar for the sweep harness,
-// matching the PR2 scenario-engine guarantee: a fixed seed must yield a
-// byte-identical JSON report for worker counts 1, 4, and NumCPU.
+// TestSweepGoldenDeterminism is the acceptance bar for the parallel sweep
+// engine: with Replicates ≥ 2, a fixed seed must yield a byte-identical JSON
+// report for cell-level worker counts 1, 4, and NumCPU.
 func TestSweepGoldenDeterminism(t *testing.T) {
-	cfg := SweepConfig{Quick: true}
+	cfg := SweepConfig{Quick: true, Replicates: 2, Workers: 2}
 	if testing.Short() {
 		// Short mode trims the grid, not the guarantee: 2 attacks × 2
-		// defenses across all three worker counts. One column stays a
+		// defenses across all three cell-worker counts. One column stays a
 		// composed pipeline so the layered-defense cell is held to the same
 		// byte-identical bar.
 		cfg.Attacks = []string{"rtf", "qbi"}
 		cfg.Defenses = []string{"none", "oasis:MR|dpsgd:1,0.1"}
+	} else {
+		cfg.Attacks = []string{"rtf", "cah", "qbi", "loki"}
 	}
 	var golden []byte
-	for _, workers := range []int{1, 4, runtime.NumCPU()} {
-		cfg.Workers = workers
+	for _, cellWorkers := range []int{1, 4, runtime.NumCPU()} {
+		cfg.CellWorkers = cellWorkers
 		rep, err := RunSweep(cfg)
 		if err != nil {
-			t.Fatalf("workers=%d: %v", workers, err)
+			t.Fatalf("cell-workers=%d: %v", cellWorkers, err)
 		}
 		raw, err := rep.JSON()
 		if err != nil {
@@ -39,23 +41,153 @@ func TestSweepGoldenDeterminism(t *testing.T) {
 			continue
 		}
 		if !bytes.Equal(golden, raw) {
-			t.Fatalf("sweep JSON diverges at workers=%d:\n%s\nvs golden:\n%s", workers, raw, golden)
+			t.Fatalf("sweep JSON diverges at cell-workers=%d:\n%s\nvs golden:\n%s", cellWorkers, raw, golden)
 		}
 	}
 }
 
-// TestSweepGridShape runs the full default grid once and checks every
+// TestReplicateSeeds pins the replicate-seed derivation: the base seed leads,
+// every seed is distinct, the sequence is stable, and growing the replicate
+// count extends it without rewriting earlier seeds.
+func TestReplicateSeeds(t *testing.T) {
+	seeds := ReplicateSeeds(42, 5)
+	if len(seeds) != 5 {
+		t.Fatalf("%d seeds, want 5", len(seeds))
+	}
+	if seeds[0] != 42 {
+		t.Errorf("replicate 0 seed = %d, want the base seed 42", seeds[0])
+	}
+	seen := map[uint64]bool{}
+	for i, s := range seeds {
+		if seen[s] {
+			t.Errorf("seed %d repeats at replicate %d", s, i)
+		}
+		seen[s] = true
+	}
+	again := ReplicateSeeds(42, 5)
+	for i := range seeds {
+		if seeds[i] != again[i] {
+			t.Fatalf("derivation unstable at replicate %d: %d vs %d", i, seeds[i], again[i])
+		}
+	}
+	prefix := ReplicateSeeds(42, 3)
+	for i := range prefix {
+		if prefix[i] != seeds[i] {
+			t.Errorf("ReplicateSeeds(42, 3)[%d] = %d, not a prefix of ReplicateSeeds(42, 5) (%d)",
+				i, prefix[i], seeds[i])
+		}
+	}
+	if one := ReplicateSeeds(7, 1); len(one) != 1 || one[0] != 7 {
+		t.Errorf("ReplicateSeeds(7, 1) = %v, want [7]", one)
+	}
+	other := ReplicateSeeds(43, 5)
+	if other[1] == seeds[1] {
+		t.Error("different base seeds derived the same replicate-1 seed")
+	}
+}
+
+// TestSweepTableRendersMissingCells: a partial cell list (a failed cell, or a
+// hand-trimmed report) must render absent cells as "—", never as a fake
+// measured 0.0 / 0.000.
+func TestSweepTableRendersMissingCells(t *testing.T) {
+	rep := &SweepReport{
+		Scenario:   "partial",
+		Replicates: 1,
+		Attacks:    []string{"rtf", "cah"},
+		Defenses:   []string{"none", "prune:0.3"},
+		Cells: []SweepCell{
+			{Attack: "rtf", Defense: "none", MeanPSNR: 101.5, MeanSSIM: 0.9},
+		},
+	}
+	tbl := rep.Table()
+	if got := tbl.Rows[0][1]; got != "101.5 / 0.900" {
+		t.Errorf("present cell rendered %q", got)
+	}
+	if got := tbl.Rows[0][2]; got != "—" {
+		t.Errorf("missing rtf×prune cell rendered %q, want —", got)
+	}
+	for col := 1; col <= 2; col++ {
+		if got := tbl.Rows[1][col]; got != "—" {
+			t.Errorf("missing cah cell (col %d) rendered %q, want —", col, got)
+		}
+	}
+	if s := tbl.String(); strings.Contains(s, "0.0 / 0.000") {
+		t.Errorf("table still renders zero-value placeholders:\n%s", s)
+	}
+}
+
+// TestSweepTableMeanStd: with more than one replicate the grid cells carry
+// the spread, rendered as mean±std.
+func TestSweepTableMeanStd(t *testing.T) {
+	rep := &SweepReport{
+		Scenario:   "spread",
+		Replicates: 3,
+		Attacks:    []string{"rtf"},
+		Defenses:   []string{"none"},
+		Cells: []SweepCell{
+			{Attack: "rtf", Defense: "none", MeanPSNR: 100.25, StdPSNR: 1.5, MeanSSIM: 0.9, StdSSIM: 0.05},
+		},
+	}
+	if got, want := rep.Table().Rows[0][1], "100.2±1.5 / 0.900±0.050"; got != want {
+		t.Errorf("mean±std cell rendered %q, want %q", got, want)
+	}
+}
+
+// TestSweepReplicatesAggregate runs a tiny 1×2 grid at two replicates and
+// checks the aggregation: totals sum over replicates and a defended cell's
+// replicate spread is finite (std ≥ 0, means inside the replicate range is
+// implied by construction).
+func TestSweepReplicatesAggregate(t *testing.T) {
+	rep, err := RunSweep(SweepConfig{
+		Attacks:    []string{"rtf"},
+		Defenses:   []string{"none", "prune:0.3"},
+		Replicates: 2,
+		Quick:      true,
+		Workers:    2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Replicates != 2 || len(rep.Seeds) != 2 {
+		t.Fatalf("report replicates/seeds = %d/%d, want 2/2", rep.Replicates, len(rep.Seeds))
+	}
+	if rep.Seeds[0] != rep.Seed {
+		t.Errorf("replicate 0 seed %d is not the base seed %d", rep.Seeds[0], rep.Seed)
+	}
+	for _, c := range rep.Cells {
+		if c.Reconstructions == 0 {
+			t.Errorf("cell %s×%s reconstructed nothing over 2 replicates", c.Attack, c.Defense)
+		}
+		if c.StdPSNR < 0 || c.StdSSIM < 0 || c.StdAccuracy < 0 {
+			t.Errorf("cell %s×%s has negative spread: %+v", c.Attack, c.Defense, c)
+		}
+	}
+	// A single-replicate run of the same grid must report zero spread.
+	single, err := RunSweep(SweepConfig{
+		Attacks: []string{"rtf"}, Defenses: []string{"none"}, Quick: true, Workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := single.Cells[0]; c.StdPSNR != 0 || c.StdSSIM != 0 || c.StdAccuracy != 0 {
+		t.Errorf("single replicate reported nonzero spread: %+v", c)
+	}
+}
+
+// TestSweepGridShape runs the full built-in grid once and checks every
 // (attack, defense) cell is present with a scored PSNR, and that the
 // undefended column is the per-attack ceiling the defenses pull down from.
 func TestSweepGridShape(t *testing.T) {
 	if testing.Short() {
-		t.Skip("full 4×4 grid; run without -short")
+		t.Skip("full 4×5 grid; run without -short")
 	}
-	rep, err := RunSweep(SweepConfig{Quick: true})
+	// The attack axis is pinned to the built-in families so test-registered
+	// kinds (e.g. the failing one below) never leak into this grid.
+	attacks := []string{"cah", "loki", "qbi", "rtf"}
+	rep, err := RunSweep(SweepConfig{Attacks: attacks, Quick: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	attacks := attack.Names()
 	defenses := DefaultSweepDefenses()
 	if len(rep.Cells) != len(attacks)*len(defenses) {
 		t.Fatalf("%d cells, want %d×%d", len(rep.Cells), len(attacks), len(defenses))
@@ -98,7 +230,7 @@ func TestSweepRejectsUnknownAttack(t *testing.T) {
 	if err == nil {
 		t.Fatal("unknown attack kind accepted")
 	}
-	for _, kind := range attack.Names() {
+	for _, kind := range []string{"rtf", "cah", "qbi", "loki"} {
 		if !strings.Contains(err.Error(), kind) {
 			t.Errorf("error %q does not list registered kind %q", err, kind)
 		}
@@ -124,6 +256,58 @@ func TestSweepRejectsBadDefenseUpFront(t *testing.T) {
 		if !strings.Contains(err.Error(), kind) {
 			t.Errorf("error %q does not list registered defense kind %q", err, kind)
 		}
+	}
+}
+
+// TestSweepPartialReportOnError: a cell that fails mid-grid must surface its
+// error AND the partial report carrying every fully-completed cell in grid
+// order, so callers can dump finished work before exiting. The failing cell
+// is driven by a test-registered defense kind that passes parse-only
+// validation (nil Rng) but fails per-client construction inside the run —
+// the default defense axis is a fixed list, so the extra kind leaks nowhere.
+func TestSweepPartialReportOnError(t *testing.T) {
+	if !defense.Known("sweep-test-explode") {
+		err := defense.Register("sweep-test-explode", func(arg string, cfg defense.Config) (defense.Defense, error) {
+			if cfg.Rng == nil {
+				p, err := defense.NewPipeline("prune:0.5", defense.Config{})
+				return p, err
+			}
+			return nil, errors.New("intentional construction failure")
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := RunSweep(SweepConfig{
+		Attacks:     []string{"rtf"},
+		Defenses:    []string{"none", "prune:0.3", "sweep-test-explode"},
+		Replicates:  2,
+		CellWorkers: 4,
+		Quick:       true,
+		Workers:     2,
+	})
+	if err == nil {
+		t.Fatal("failing defense cell did not error")
+	}
+	if !strings.Contains(err.Error(), "sweep cell rtf×sweep-test-explode") {
+		t.Errorf("error %q does not name the failing cell", err)
+	}
+	if rep == nil {
+		t.Fatal("no partial report attached to the cell failure")
+	}
+	if len(rep.Cells) != 2 {
+		t.Fatalf("partial report carries %d cells, want the 2 completed ones", len(rep.Cells))
+	}
+	for i, def := range []string{"none", "prune:0.3"} {
+		if rep.Cells[i].Attack != "rtf" || rep.Cells[i].Defense != def {
+			t.Errorf("partial cell %d = %s×%s, want rtf×%s (grid order)",
+				i, rep.Cells[i].Attack, rep.Cells[i].Defense, def)
+		}
+	}
+	// The grid table over the partial report renders the failed cell as —.
+	tbl := rep.Table()
+	if got := tbl.Rows[0][3]; got != "—" {
+		t.Errorf("failed cell rendered %q, want —", got)
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"unicode/utf8"
 )
 
 // Summary is a five-number summary plus mean — the contents of one box in
@@ -97,6 +98,21 @@ func Mean(values []float64) float64 {
 	return s / float64(len(values))
 }
 
+// Std returns the sample standard deviation of values (0 for fewer than two
+// values, matching the "single replicate has no spread" reading).
+func Std(values []float64) float64 {
+	if len(values) < 2 {
+		return 0
+	}
+	mean := Mean(values)
+	varr := 0.0
+	for _, v := range values {
+		d := v - mean
+		varr += d * d
+	}
+	return math.Sqrt(varr / float64(len(values)-1))
+}
+
 // Table is a simple fixed-column text table for experiment output, printed
 // in the same row/series layout as the paper's artifacts.
 type Table struct {
@@ -110,20 +126,21 @@ type Table struct {
 func NewTable(title string, header ...string) *Table {
 	t := &Table{Title: title, Header: header, colWide: make([]int, len(header))}
 	for i, h := range header {
-		t.colWide[i] = len(h)
+		t.colWide[i] = utf8.RuneCountInString(h)
 	}
 	return t
 }
 
-// AddRow appends a row, padding or truncating to the header width.
+// AddRow appends a row, padding or truncating to the header width. Column
+// widths count runes, not bytes, so multibyte cells ("—", "±") stay aligned.
 func (t *Table) AddRow(cells ...string) {
 	row := make([]string, len(t.Header))
 	for i := range row {
 		if i < len(cells) {
 			row[i] = cells[i]
 		}
-		if len(row[i]) > t.colWide[i] {
-			t.colWide[i] = len(row[i])
+		if w := utf8.RuneCountInString(row[i]); w > t.colWide[i] {
+			t.colWide[i] = w
 		}
 	}
 	t.Rows = append(t.Rows, row)
@@ -155,7 +172,10 @@ func (t *Table) String() string {
 			if i > 0 {
 				b.WriteString("  ")
 			}
-			fmt.Fprintf(&b, "%-*s", t.colWide[i], c)
+			b.WriteString(c)
+			if pad := t.colWide[i] - utf8.RuneCountInString(c); pad > 0 {
+				b.WriteString(strings.Repeat(" ", pad))
+			}
 		}
 		b.WriteByte('\n')
 	}

@@ -63,6 +63,12 @@
 // drawn delays. A scenario therefore produces a bit-identical Report for
 // every Options.Workers value; only real elapsed time changes.
 //
+// Scenario-level population draws are additionally isolated from one
+// another on independent keyed sub-streams: the straggler set is a function
+// of (seed, straggler spec) alone and the defended set of (seed, defense
+// spec) alone, so toggling one knob — say, switching Defense.Kind between
+// sweep cells — can never reshuffle an unrelated draw.
+//
 // # Failure semantics
 //
 // Dropped clients, stragglers past the virtual deadline, and erroring

@@ -34,6 +34,18 @@ type Options struct {
 // quickMaxRounds is the round cap Options.Quick applies.
 const quickMaxRounds = 5
 
+// Scenario-level population draws each get their own keyed sub-stream.
+// Sharing one stream would let one knob shift every later draw — toggling
+// Defense.Kind on an otherwise identical scenario used to reshuffle which
+// clients straggle, exactly the cross-cell confound an attack×defense sweep
+// must isolate. With independent salts, each draw depends only on the seed
+// and its own spec fields.
+const (
+	saltPartition = 0x5c3a_12f0 // historical scenario-stream salt, kept for the partition
+	saltDefense   = 0xdef3_a551
+	saltStraggler = 0x57a6_6139
+)
+
 func (o Options) logf(format string, args ...any) {
 	if o.Log != nil {
 		fmt.Fprintf(o.Log, format+"\n", args...)
@@ -70,22 +82,18 @@ func run(sc Scenario, opts Options) (*Report, error) {
 	trainDS := data.NewSynthCustom(sc.Name+"-train", d.Classes, d.Channels, d.Height, d.Width, d.Samples, sc.Seed)
 	testDS := data.NewSynthCustom(sc.Name+"-test", d.Classes, d.Channels, d.Height, d.Width, sc.TestSamples, sc.Seed^0x7e57)
 
-	// One scenario-level stream drives population construction (partition,
-	// defense and straggler assignment, attack calibration); per-client
-	// training streams are keyed by client index below.
-	rng := nn.RandSource(sc.Seed, 0x5c3a_12f0)
-
+	// Population construction draws from independent keyed streams (see the
+	// salt constants above); per-client training streams are keyed by client
+	// index below.
 	partitioner, err := data.NewPartitioner(sc.Partition)
 	if err != nil {
 		return nil, err
 	}
-	parts, err := partitioner.Partition(trainDS, sc.Clients, rng)
+	parts, err := partitioner.Partition(trainDS, sc.Clients, nn.RandSource(sc.Seed, saltPartition))
 	if err != nil {
 		return nil, err
 	}
 
-	defended := make([]bool, sc.Clients)
-	nDefended := 0
 	defenseLabel := ""
 	if sc.Defense.Kind != "" {
 		// A parse-only pipeline resolves the report label (its composite
@@ -96,16 +104,8 @@ func run(sc Scenario, opts Options) (*Report, error) {
 			return nil, err
 		}
 		defenseLabel = label.Name()
-		nDefended = int(math.Round(sc.Defense.Fraction * float64(sc.Clients)))
-		for _, idx := range rng.Perm(sc.Clients)[:nDefended] {
-			defended[idx] = true
-		}
 	}
-	stragglers := make([]bool, sc.Clients)
-	nStragglers := int(math.Round(sc.Straggler.Fraction * float64(sc.Clients)))
-	for _, idx := range rng.Perm(sc.Clients)[:nStragglers] {
-		stragglers[idx] = true
-	}
+	defended, nDefended, stragglers := populationFlags(sc)
 
 	roster := fl.NewMemoryRoster()
 	population := make([]*simClient, sc.Clients)
@@ -216,6 +216,29 @@ func run(sc Scenario, opts Options) (*Report, error) {
 	scoreAttack(report, sched, population)
 	summarize(report)
 	return report, nil
+}
+
+// populationFlags draws the defended and straggler membership sets, each on
+// its own keyed stream so the two assignments never perturb one another: the
+// straggler set is a function of (seed, straggler spec) alone, and the
+// defended set of (seed, defense spec) alone. Any future population-level
+// draw must follow the same pattern with a fresh salt.
+func populationFlags(sc Scenario) (defended []bool, nDefended int, stragglers []bool) {
+	defended = make([]bool, sc.Clients)
+	if sc.Defense.Kind != "" {
+		nDefended = int(math.Round(sc.Defense.Fraction * float64(sc.Clients)))
+		rng := nn.RandSource(sc.Seed, saltDefense)
+		for _, idx := range rng.Perm(sc.Clients)[:nDefended] {
+			defended[idx] = true
+		}
+	}
+	stragglers = make([]bool, sc.Clients)
+	nStragglers := int(math.Round(sc.Straggler.Fraction * float64(sc.Clients)))
+	rng := nn.RandSource(sc.Seed, saltStraggler)
+	for _, idx := range rng.Perm(sc.Clients)[:nStragglers] {
+		stragglers[idx] = true
+	}
+	return defended, nDefended, stragglers
 }
 
 func attackMark(active bool) string {

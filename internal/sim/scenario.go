@@ -61,6 +61,26 @@ type Scenario struct {
 	RealTime bool `json:"real_time,omitempty"`
 }
 
+// Clone returns a deep copy of the scenario. The value is mostly plain data,
+// but Attack.Rounds is a slice a plain value copy would alias; harnesses that
+// customize per-cell copies concurrently (the sweep engine) need full
+// isolation.
+func (s Scenario) Clone() Scenario {
+	c := s
+	if s.Attack.Rounds != nil {
+		c.Attack.Rounds = append([]int(nil), s.Attack.Rounds...)
+	}
+	return c
+}
+
+// WithSeed returns an isolated deep copy of the scenario running at the given
+// seed — the replicate axis of a multi-seed sweep.
+func (s Scenario) WithSeed(seed uint64) Scenario {
+	c := s.Clone()
+	c.Seed = seed
+	return c
+}
+
 // DatasetSpec sizes the synthetic dataset the population trains on.
 type DatasetSpec struct {
 	Classes  int `json:"classes"`

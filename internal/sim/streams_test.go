@@ -1,0 +1,106 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// flagsScenario is a population with both a defended fraction and a straggler
+// tail, the two scenario-level membership draws.
+func flagsScenario() Scenario {
+	return Scenario{
+		Name: "flags", Seed: 7, Clients: 40, Rounds: 2,
+		Dataset:   DatasetSpec{Classes: 4, Channels: 1, Height: 8, Width: 8, Samples: 160},
+		Defense:   DefenseSpec{Kind: "oasis:MR", Fraction: 0.5},
+		Straggler: StragglerSpec{Fraction: 0.3, MeanDelayMS: 50, BaseDelayMS: 5},
+	}
+}
+
+// TestStragglerSetIndependentOfDefense is the regression test for the stream
+// isolation bugfix: straggler membership used to be drawn from the same
+// scenario-level stream as the defense assignment, so toggling Defense.Kind
+// on an otherwise identical scenario silently reshuffled which clients
+// straggle — exactly the cross-cell confound the sweep isolates. Each draw
+// now has its own keyed stream.
+func TestStragglerSetIndependentOfDefense(t *testing.T) {
+	defendedOn := flagsScenario()
+	defendedOff := flagsScenario()
+	defendedOff.Defense = DefenseSpec{}
+
+	_, _, stragglersOn := populationFlags(defendedOn)
+	_, _, stragglersOff := populationFlags(defendedOff)
+	if !reflect.DeepEqual(stragglersOn, stragglersOff) {
+		t.Errorf("toggling the defense reshuffled the straggler set:\n  on: %v\n off: %v",
+			stragglersOn, stragglersOff)
+	}
+
+	// And the converse: the defended set must not depend on the straggler
+	// spec either.
+	noTail := flagsScenario()
+	noTail.Straggler = StragglerSpec{}
+	defendedA, nA, _ := populationFlags(flagsScenario())
+	defendedB, nB, _ := populationFlags(noTail)
+	if nA != nB || !reflect.DeepEqual(defendedA, defendedB) {
+		t.Errorf("dropping the straggler tail reshuffled the defended set:\n with: %v\n  w/o: %v",
+			defendedA, defendedB)
+	}
+}
+
+// TestPopulationFlagsCounts pins the membership sizes to the rounded spec
+// fractions for both draws.
+func TestPopulationFlagsCounts(t *testing.T) {
+	sc := flagsScenario()
+	defended, nDefended, stragglers := populationFlags(sc)
+	if nDefended != 20 {
+		t.Errorf("defended count %d, want 20 (0.5 of 40)", nDefended)
+	}
+	count := func(bs []bool) int {
+		n := 0
+		for _, b := range bs {
+			if b {
+				n++
+			}
+		}
+		return n
+	}
+	if got := count(defended); got != nDefended {
+		t.Errorf("defended flags count %d, want %d", got, nDefended)
+	}
+	if got := count(stragglers); got != 12 {
+		t.Errorf("straggler flags count %d, want 12 (0.3 of 40)", got)
+	}
+}
+
+// TestScenarioCloneIsolation: Clone must deep-copy the one sliced field so a
+// per-cell copy mutated by one sweep worker can never alias another's.
+func TestScenarioCloneIsolation(t *testing.T) {
+	sc, _ := Preset("smoke")
+	sc.Attack.Rounds = []int{1, 3}
+	clone := sc.Clone()
+	if !reflect.DeepEqual(clone, sc) {
+		t.Fatalf("clone differs from the original:\n orig: %+v\nclone: %+v", sc, clone)
+	}
+	clone.Attack.Rounds[0] = 99
+	if sc.Attack.Rounds[0] != 1 {
+		t.Error("mutating the clone's attack rounds wrote through to the original")
+	}
+}
+
+// TestScenarioWithSeed: the replicate helper must change only the seed, on a
+// fully isolated copy.
+func TestScenarioWithSeed(t *testing.T) {
+	sc, _ := Preset("smoke")
+	sc.Attack.Rounds = []int{1}
+	rep := sc.WithSeed(1234)
+	if rep.Seed != 1234 {
+		t.Fatalf("WithSeed seed = %d, want 1234", rep.Seed)
+	}
+	rep.Seed = sc.Seed
+	if !reflect.DeepEqual(rep, sc) {
+		t.Errorf("WithSeed changed more than the seed:\n orig: %+v\n rep: %+v", sc, rep)
+	}
+	rep.Attack.Rounds[0] = 42
+	if sc.Attack.Rounds[0] != 1 {
+		t.Error("WithSeed copy aliases the original's attack rounds")
+	}
+}

@@ -229,7 +229,34 @@ type (
 	ExperimentConfig = experiments.Config
 	// ExperimentResult carries an experiment's tables and artifacts.
 	ExperimentResult = experiments.Result
+	// SweepConfig shapes a parallel multi-seed attack×defense grid
+	// evaluation: Replicates re-runs every cell at derived seeds,
+	// CellWorkers bounds grid-level concurrency (distinct from the per-cell
+	// client Workers), and results merge in deterministic grid order.
+	SweepConfig = experiments.SweepConfig
+	// SweepReport is the structured sweep outcome — byte-identical across
+	// Workers and CellWorkers values for a fixed seed.
+	SweepReport = experiments.SweepReport
+	// SweepCell is one (attack, defense) grid entry with mean±std
+	// PSNR/SSIM/accuracy over the replicate seeds.
+	SweepCell = experiments.SweepCell
 )
+
+// RunSweep evaluates the attack×defense grid under the given config. On a
+// cell failure the partial report (every completed cell in grid order) is
+// returned alongside the error.
+func RunSweep(cfg SweepConfig) (*SweepReport, error) { return experiments.RunSweep(cfg) }
+
+// SweepReplicateSeeds derives the per-replicate scenario seeds a sweep runs:
+// the base seed first, then distinct seeds from a dedicated keyed stream
+// (stable — growing n never changes earlier seeds).
+func SweepReplicateSeeds(base uint64, n int) []uint64 { return experiments.ReplicateSeeds(base, n) }
+
+// DefaultSweepDefenses lists the default defense axis of the sweep grid.
+func DefaultSweepDefenses() []string { return experiments.DefaultSweepDefenses() }
+
+// DefaultSweepScenario returns the default base population sweep cells run.
+func DefaultSweepScenario() Scenario { return experiments.DefaultSweepScenario() }
 
 // Experiments lists the registered experiment IDs (fig2…fig14, table1, …).
 func Experiments() []string { return experiments.IDs() }

@@ -83,3 +83,33 @@ func TestRunScenarioFacade(t *testing.T) {
 		t.Error("PresetScenario(nope) found")
 	}
 }
+
+// TestRunSweepFacade drives the multi-seed sweep engine through the public
+// API: a tiny replicated grid with bounded cell-level workers, checking the
+// replicate seeds and aggregated cells come back.
+func TestRunSweepFacade(t *testing.T) {
+	rep, err := RunSweep(SweepConfig{
+		Attacks:     []string{"rtf"},
+		Defenses:    []string{"none"},
+		Replicates:  2,
+		CellWorkers: 2,
+		Workers:     2,
+		Quick:       true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Replicates != 2 || len(rep.Cells) != 1 {
+		t.Fatalf("report shape wrong: %d replicates, %d cells", rep.Replicates, len(rep.Cells))
+	}
+	seeds := SweepReplicateSeeds(rep.Seed, 2)
+	if len(rep.Seeds) != 2 || rep.Seeds[0] != seeds[0] || rep.Seeds[1] != seeds[1] {
+		t.Errorf("report seeds %v do not match SweepReplicateSeeds %v", rep.Seeds, seeds)
+	}
+	if base := DefaultSweepScenario(); base.Seed != rep.Seed {
+		t.Errorf("default base seed %d, report seed %d", base.Seed, rep.Seed)
+	}
+	if len(DefaultSweepDefenses()) == 0 {
+		t.Error("no default sweep defenses")
+	}
+}
