@@ -1,23 +1,35 @@
-// Command oasis-bench regenerates the paper's tables and figures.
+// Command oasis-bench regenerates the paper's tables and figures, and owns
+// the repo's performance-trajectory baselines.
 //
 // Usage:
 //
 //	oasis-bench -list
 //	oasis-bench -run fig5 -out results
 //	oasis-bench -run all -quick
+//	oasis-bench -round                 # refresh BENCH_round.json / BENCH_tensor.json
+//	oasis-bench -round -gate           # CI: compare fresh run vs committed, fail on >15%
 //
 // Every experiment prints the same rows/series the paper reports; -out
 // additionally writes CSV tables and PNG figures.
+//
+// -round times the tensor kernel suite and the full round engine on the
+// cross-device-1k preset and writes the two BENCH files (committed at the
+// repo root). With -gate it instead measures fresh numbers and compares the
+// calibration-normalized ratios against the committed files, printing the
+// trajectory delta per entry and exiting nonzero when any entry regressed
+// beyond -gate-tol. See internal/perf for the normalization contract.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"github.com/oasisfl/oasis/internal/experiments"
+	"github.com/oasisfl/oasis/internal/perf"
 )
 
 func main() {
@@ -36,8 +48,18 @@ func run() error {
 		outDir  = flag.String("out", "", "directory for CSV/PNG artifacts (empty = stdout only)")
 		verbose = flag.Bool("v", false, "log progress while running")
 		workers = flag.Int("workers", 0, "max concurrent clients in FL-round experiments (0 = NumCPU)")
+
+		roundBench = flag.Bool("round", false, "measure the perf-trajectory suites and write BENCH_round.json / BENCH_tensor.json")
+		gate       = flag.Bool("gate", false, "with -round: compare fresh measurements against the committed BENCH files instead of rewriting them")
+		gateTol    = flag.Float64("gate-tol", 0.15, "with -gate: maximum allowed fractional regression of a calibration-normalized ratio")
+		benchDir   = flag.String("bench-dir", ".", "directory holding the BENCH files")
+		repeats    = flag.Int("bench-repeats", 0, "repetitions per measurement, best-of (0 = suite defaults)")
 	)
 	flag.Parse()
+
+	if *roundBench {
+		return runPerf(*benchDir, *gate, *gateTol, *repeats)
+	}
 
 	if *list {
 		for _, s := range experiments.Registry() {
@@ -78,4 +100,57 @@ func run() error {
 		fmt.Printf("(%s in %s)\n\n", s.ID, time.Since(start).Round(time.Millisecond))
 	}
 	return nil
+}
+
+// runPerf measures the perf-trajectory suites and either rewrites the
+// committed BENCH files (refresh mode) or gates fresh ratios against them.
+func runPerf(dir string, gate bool, tol float64, repeats int) error {
+	tensorPath := filepath.Join(dir, "BENCH_tensor.json")
+	roundPath := filepath.Join(dir, "BENCH_round.json")
+
+	fmt.Println("measuring tensor kernel suite…")
+	tensorRep := perf.TensorSuite(repeats)
+	fmt.Println("measuring round engine (cross-device-1k, quick)…")
+	roundRep, err := perf.RoundSuite(repeats)
+	if err != nil {
+		return err
+	}
+	for _, rep := range []*perf.Report{tensorRep, roundRep} {
+		fmt.Printf("%s: calib %.3fms on %d-cpu %s/%s\n", rep.Kind, rep.CalibMS, rep.CPUs, rep.GOOS, rep.GOARCH)
+		for _, e := range rep.Entries {
+			fmt.Printf("  %-36s serial %9.3fms  ratio %8.3f  parallel %9.3fms\n",
+				e.Name, e.SerialMS, e.Ratio, e.ParallelMS)
+		}
+	}
+
+	if !gate {
+		if err := tensorRep.Write(tensorPath); err != nil {
+			return err
+		}
+		if err := roundRep.Write(roundPath); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s and %s — commit them to update the trajectory baseline\n", tensorPath, roundPath)
+		return nil
+	}
+
+	var firstErr error
+	for _, c := range []struct {
+		path  string
+		fresh *perf.Report
+	}{{tensorPath, tensorRep}, {roundPath, roundRep}} {
+		baseline, err := perf.Load(c.path)
+		if err != nil {
+			return fmt.Errorf("gate needs a committed baseline: %w", err)
+		}
+		results, err := perf.Gate(baseline, c.fresh, tol)
+		fmt.Printf("trajectory vs %s (tolerance %.0f%%):\n", c.path, tol*100)
+		for _, g := range results {
+			fmt.Println("  " + g.String())
+		}
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
 }

@@ -100,15 +100,22 @@ func (d *Defense) Name() string {
 func ActivationSets(w *tensor.Tensor, bias *tensor.Tensor, inputs *tensor.Tensor) [][]bool {
 	bN := inputs.Dim(0)
 	n := w.Dim(0)
+	// One batched inputs·Wᵀ product instead of a per-row MatVec loop: the
+	// blocked kernel amortizes W across the whole batch (the row-at-a-time
+	// loop re-streamed all of W per image). Each element is the same dot
+	// product the per-row path computed, so the sets are unchanged.
+	z := tensor.MatMulTransB(inputs, w) // [B, n]
+	bd := bias.Data()
 	out := make([][]bool, bN)
 	for j := 0; j < bN; j++ {
-		z := tensor.MatVec(w, inputs.RowView(j))
+		zrow := z.RowView(j)
 		row := make([]bool, n)
-		for i := range z {
-			row[i] = z[i]+bias.Data()[i] > 0
+		for i := range zrow {
+			row[i] = zrow[i]+bd[i] > 0
 		}
 		out[j] = row
 	}
+	z.Release()
 	return out
 }
 

@@ -157,6 +157,10 @@ func (c *LocalClient) HandleRound(ctx context.Context, req RoundRequest) (Update
 		grads = make([]*tensor.Tensor, len(final))
 		for i := range final {
 			grads[i] = initial[i].Sub(final[i]).ScaleInPlace(1 / lr)
+			// The weight snapshots are round-local scratch; hand them back
+			// to the tensor arena now that the pseudo-gradient is formed.
+			initial[i].Release()
+			final[i].Release()
 		}
 	} else {
 		grads = net.Gradients()

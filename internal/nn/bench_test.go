@@ -1,0 +1,46 @@
+package nn
+
+import (
+	rand "math/rand/v2"
+	"testing"
+
+	"github.com/oasisfl/oasis/internal/tensor"
+)
+
+// Conv2D train-step benchmarks with ReportAllocs: the point of the workspace
+// arena is that steady-state forward/backward allocation stays flat in the
+// batch size (the im2col matrix, the gradient scratch and the cached
+// activations all come from the pool once it is warm).
+
+func benchConvStep(b *testing.B, batch int) {
+	rng := rand.New(rand.NewPCG(21, 22))
+	layer := NewConv2D("bench", 3, 16, 3, 1, 1, rng)
+	x := tensor.New(batch, 3, 32, 32)
+	x.FillRandn(rng, 1)
+	g := tensor.New(batch, 16, 32, 32)
+	g.FillRandn(rng, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = layer.Forward(x, true)
+		_ = layer.Backward(g)
+	}
+}
+
+func BenchmarkConv2DStep_8x3x32x32(b *testing.B)  { benchConvStep(b, 8) }
+func BenchmarkConv2DStep_32x3x32x32(b *testing.B) { benchConvStep(b, 32) }
+
+func BenchmarkLinearStep_64x3072x500(b *testing.B) {
+	rng := rand.New(rand.NewPCG(23, 24))
+	layer := NewLinear("bench", 3072, 500, rng)
+	x := tensor.New(64, 3072)
+	x.FillRandn(rng, 1)
+	g := tensor.New(64, 500)
+	g.FillRandn(rng, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = layer.Forward(x, true)
+		_ = layer.Backward(g)
+	}
+}

@@ -9,12 +9,20 @@ import (
 
 // Conv2D is a 2-D convolution over [B, C, H, W] activations implemented by
 // im2col lowering. Weight shape is [outC, inC, KH, KW]; bias is [outC].
+//
+// Workspace lifecycle: the im2col matrix and the backward scratch buffers are
+// drawn from the tensor workspace arena (tensor.NewPooled) and handed back as
+// soon as their last reader is done — the cols workspace lives from
+// Forward(train) to the end of the matching Backward, everything else within
+// a single call. Per-step allocation volume therefore stays O(model) instead
+// of O(B·OH·OW) once the arena is warm, which is what keeps GC pressure flat
+// when thousands of simulated clients train per round.
 type Conv2D struct {
 	InC, OutC, K, Stride, Pad int
 	Weight                    *Param
 	Bias                      *Param
 
-	lastCols   *tensor.Tensor
+	lastCols   *tensor.Tensor // pooled; released at the end of Backward
 	lastInDims [4]int
 	lastOut    [2]int
 	name       string
@@ -34,34 +42,32 @@ func NewConv2D(name string, inC, outC, k, stride, pad int, rng *rand.Rand) *Conv
 	}
 }
 
-// Forward computes the convolution via im2col + matmul.
+// Forward computes the convolution via im2col + the fused ConvOut kernel
+// (matmul, [B,outC,OH,OW] rearrange, and bias add in one pass).
 func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if x.Dims() != 4 || x.Dim(1) != c.InC {
 		panic(fmt.Sprintf("nn: %s expects [B,%d,H,W], got %v", c.name, c.InC, x.Shape()))
 	}
 	b, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
-	cols, oh, ow := tensor.Im2Col(x, c.K, c.K, c.Stride, c.Pad) // [B*OH*OW, inC*K*K]
+	oh := (h+2*c.Pad-c.K)/c.Stride + 1
+	ow := (w+2*c.Pad-c.K)/c.Stride + 1
+	// The lowering workspace comes from the shared arena: a train-mode
+	// Forward hands it to Backward (which releases it), an inference pass
+	// releases it immediately. An inference pass between a Forward(train)
+	// and its Backward therefore never disturbs the pending pair.
+	cols := tensor.NewPooled(b*oh*ow, c.InC*c.K*c.K)
+	tensor.Im2ColInto(cols, x, c.K, c.K, c.Stride, c.Pad)
 	wmat := c.Weight.W.MustReshape(c.OutC, c.InC*c.K*c.K)
-	prod := tensor.MatMulTransB(cols, wmat) // [B*OH*OW, outC]
+	out := tensor.ConvOut(cols, wmat, c.Bias.W.Data(), b, oh, ow)
 	if train {
+		// A repeated Forward(train) with no intervening Backward (numerical
+		// gradient checks do this) orphans the previous workspace: recycle it.
+		c.lastCols.Release()
 		c.lastCols = cols
 		c.lastInDims = [4]int{b, c.InC, h, w}
 		c.lastOut = [2]int{oh, ow}
-	}
-	// Rearrange [B*OH*OW, outC] → [B, outC, OH, OW] and add bias.
-	out := tensor.New(b, c.OutC, oh, ow)
-	bias := c.Bias.W.Data()
-	pd := prod.Data()
-	od := out.Data()
-	for bi := 0; bi < b; bi++ {
-		for oy := 0; oy < oh; oy++ {
-			for ox := 0; ox < ow; ox++ {
-				row := pd[((bi*oh+oy)*ow+ox)*c.OutC:]
-				for oc := 0; oc < c.OutC; oc++ {
-					od[((bi*c.OutC+oc)*oh+oy)*ow+ox] = row[oc] + bias[oc]
-				}
-			}
-		}
+	} else {
+		cols.Release()
 	}
 	return out
 }
@@ -77,7 +83,7 @@ func (c *Conv2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 		panic(fmt.Sprintf("nn: %s Backward shape %v, want [%d,%d,%d,%d]", c.name, gradOut.Shape(), b, c.OutC, oh, ow))
 	}
 	// Rearrange gradOut [B,outC,OH,OW] → gRows [B*OH*OW, outC].
-	gRows := tensor.New(b*oh*ow, c.OutC)
+	gRows := tensor.NewPooled(b*oh*ow, c.OutC)
 	gd := gradOut.Data()
 	gr := gRows.Data()
 	for bi := 0; bi < b; bi++ {
@@ -92,6 +98,7 @@ func (c *Conv2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	// ∂L/∂W = gRowsᵀ · cols  → [outC, inC*K*K]
 	gw := tensor.MatMulTransA(gRows, c.lastCols)
 	c.Weight.G.AddInPlace(gw.MustReshape(c.OutC, c.InC, c.K, c.K))
+	gw.Release()
 	// ∂L/∂b = column sums of gRows
 	gb := c.Bias.G.Data()
 	for r := 0; r < gRows.Dim(0); r++ {
@@ -103,13 +110,19 @@ func (c *Conv2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	// ∂L/∂cols = gRows · Wmat → scatter back with Col2Im.
 	wmat := c.Weight.W.MustReshape(c.OutC, c.InC*c.K*c.K)
 	gCols := tensor.MatMul(gRows, wmat)
-	return tensor.Col2Im(gCols, b, c.InC, h, w, c.K, c.K, c.Stride, c.Pad)
+	gRows.Release()
+	dx := tensor.Col2Im(gCols, b, c.InC, h, w, c.K, c.K, c.Stride, c.Pad)
+	gCols.Release()
+	c.lastCols.Release()
+	c.lastCols = nil
+	return dx
 }
 
 // Params returns weight and bias.
 func (c *Conv2D) Params() []*Param { return []*Param{c.Weight, c.Bias} }
 
-// Clone returns a deep copy with zeroed gradients.
+// Clone returns a deep copy with zeroed gradients (workspaces are not
+// cloned; each instance draws its own from the arena).
 func (c *Conv2D) Clone() Layer {
 	cp := &Conv2D{
 		InC: c.InC, OutC: c.OutC, K: c.K, Stride: c.Stride, Pad: c.Pad,

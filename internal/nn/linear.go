@@ -61,7 +61,11 @@ func (l *Linear) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		panic(fmt.Sprintf("nn: %s expects [B,%d], got %v", l.name, l.In, x.Shape()))
 	}
 	if train {
-		l.lastX = x.Clone()
+		// The cached activation comes from the workspace arena and is
+		// released by Backward; recycle any orphan from a repeated Forward.
+		l.lastX.Release()
+		l.lastX = tensor.NewPooled(x.Shape()...)
+		copy(l.lastX.Data(), x.Data())
 	}
 	out := tensor.MatMulTransB(x, l.Weight.W) // [B,out]
 	b := l.Bias.W.Data()
@@ -82,6 +86,9 @@ func (l *Linear) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	// ∂L/∂W (out×in) = gradOutᵀ (out×B) · x (B×in)
 	gw := tensor.MatMulTransA(gradOut, l.lastX)
 	l.Weight.G.AddInPlace(gw)
+	gw.Release()
+	l.lastX.Release()
+	l.lastX = nil
 	gb := l.Bias.G.Data()
 	for i := 0; i < gradOut.Dim(0); i++ {
 		row := gradOut.RowView(i)

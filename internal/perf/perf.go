@@ -1,0 +1,392 @@
+// Package perf measures the repo's hot-path performance trajectory and gates
+// regressions against committed baselines.
+//
+// Two suites are recorded, each as a JSON report committed at the repo root:
+//
+//   - BENCH_tensor.json — the tensor kernels behind every FL round (matmul
+//     family, transpose, the fused conv lowering), at the malicious-layer
+//     shapes the paper's attacks use.
+//   - BENCH_round.json — the full round engine on the cross-device-1k preset
+//     (quick cap), the end-to-end number a kernel regression must not hide
+//     behind.
+//
+// Cross-hardware comparability: raw wall-clock is meaningless between the
+// machine that committed a baseline and the CI runner that checks it. Every
+// gated measurement is therefore (a) taken serially (tensor.SetWorkers(1)),
+// so core count drops out, and (b) normalized by a scalar calibration
+// workload measured in the same process, so clock speed mostly drops out.
+// The gate compares these calibration-normalized ratios with a tolerance
+// (15% in CI) that absorbs residual microarchitectural skew. Parallel
+// wall-clock at NumCPU workers is recorded alongside as trajectory
+// information but is not gated.
+//
+// Refreshing baselines: run `go run ./cmd/oasis-bench -round` at the repo
+// root and commit the rewritten BENCH_round.json / BENCH_tensor.json. Do this
+// whenever a PR intentionally shifts kernel or round-engine cost, with the
+// measured before/after in the PR description.
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	rand "math/rand/v2"
+
+	"github.com/oasisfl/oasis/internal/sim"
+	"github.com/oasisfl/oasis/internal/tensor"
+)
+
+// Schema identifies the report layout; bump when fields change meaning.
+const Schema = 1
+
+// Entry is one gated measurement.
+type Entry struct {
+	Name string `json:"name"`
+	// SerialMS is the best-of-N serial wall-clock in milliseconds.
+	SerialMS float64 `json:"serial_ms"`
+	// Ratio is SerialMS divided by the report's CalibMS — the
+	// hardware-normalized number the gate compares.
+	Ratio float64 `json:"ratio"`
+	// ParallelMS is the best-of-N wall-clock at NumCPU workers.
+	// Informational only (depends on the machine's core count).
+	ParallelMS float64 `json:"parallel_ms,omitempty"`
+	// GFLOPS is the serial arithmetic throughput, when the workload's FLOP
+	// count is known. Informational.
+	GFLOPS float64 `json:"gflops,omitempty"`
+	// Informational entries are recorded and printed in the trajectory but
+	// never fail the gate. Used for memory-bandwidth-bound workloads
+	// (Transpose2D): the ALU-bound calibration cannot normalize DRAM
+	// bandwidth, so their ratio is not comparable across machines.
+	Informational bool `json:"informational,omitempty"`
+}
+
+// Report is one committed benchmark file.
+type Report struct {
+	Schema  int     `json:"schema"`
+	Kind    string  `json:"kind"` // "tensor" or "round"
+	GOOS    string  `json:"goos"`
+	GOARCH  string  `json:"goarch"`
+	CPUs    int     `json:"cpus"`
+	Repeats int     `json:"repeats"`
+	CalibMS float64 `json:"calib_ms"`
+	Entries []Entry `json:"entries"`
+}
+
+// sink defeats dead-code elimination across all workloads.
+var sink float64
+
+// Calibrate measures the scalar calibration workload: a fixed-size 4-way
+// unrolled dot product, repeated, best of seven. Its runtime tracks the
+// machine's scalar floating-point speed — the same resource the serial
+// kernels are bound by — so kernel/calibration ratios transfer across
+// machines far better than raw milliseconds.
+func Calibrate() float64 {
+	const n = 4096
+	const iters = 2000
+	a := make([]float64, n)
+	b := make([]float64, n)
+	rng := rand.New(rand.NewPCG(2024, 7))
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		b[i] = rng.NormFloat64()
+	}
+	// Sampled under the same minBudget floor as the kernels: the calibration
+	// is the denominator of every gated ratio, so a single slow sampling
+	// window here would shift the whole report.
+	return bestOf(7, func() {
+		var acc float64
+		for it := 0; it < iters; it++ {
+			var s0, s1, s2, s3 float64
+			for i := 0; i+4 <= n; i += 4 {
+				s0 += a[i] * b[i]
+				s1 += a[i+1] * b[i+1]
+				s2 += a[i+2] * b[i+2]
+				s3 += a[i+3] * b[i+3]
+			}
+			acc += s0 + s1 + s2 + s3
+		}
+		sink += acc
+	})
+}
+
+// kernelCase is one tensor-suite workload.
+type kernelCase struct {
+	name  string
+	flops float64 // per run; 0 if not meaningful
+	info  bool    // memory-bound: record but do not gate
+	run   func()
+}
+
+// tensorCases builds the kernel workloads at the shapes the paper's
+// malicious fully-connected layers and the CNN lowering actually hit.
+func tensorCases() []kernelCase {
+	rng := rand.New(rand.NewPCG(11, 22))
+	newRand := func(shape ...int) *tensor.Tensor {
+		t := tensor.New(shape...)
+		t.FillRandn(rng, 1)
+		return t
+	}
+	const m, k, n = 64, 3072, 500
+	a := newRand(m, k)  // batch activations [B, d]
+	bT := newRand(n, k) // malicious layer weights [n, d]
+	b := newRand(k, n)  // same, untransposed layout
+	aT := newRand(k, m) // gradient layout for ∂W accumulation
+	tr := newRand(768, 3072)
+
+	// Conv lowering at the CIFAR-ish shape the sim presets train. The batch
+	// is sized so one run takes ~10ms serial: short runs bounce enough
+	// between scheduler ticks to trip a 15% gate on pure noise.
+	const cb, cc, ch, cw, outC, ck = 32, 3, 32, 32, 16, 3
+	x := newRand(cb, cc, ch, cw)
+	wmat := newRand(outC, cc*ck*ck)
+	bias := make([]float64, outC)
+	for i := range bias {
+		bias[i] = rng.NormFloat64()
+	}
+	oh := ch + 2 - ck + 1
+	ow := cw + 2 - ck + 1
+	cols := tensor.New(cb*oh*ow, cc*ck*ck)
+
+	return []kernelCase{
+		{name: "MatMul_64x3072x500", flops: 2 * m * k * n, run: func() {
+			o := tensor.MatMul(a, b)
+			sink += o.Data()[0]
+		}},
+		{name: "MatMulTransB_64x3072x500", flops: 2 * m * k * n, run: func() {
+			o := tensor.MatMulTransB(a, bT)
+			sink += o.Data()[0]
+		}},
+		{name: "MatMulTransA_64x3072x500", flops: 2 * m * k * n, run: func() {
+			o := tensor.MatMulTransA(aT, b)
+			sink += o.Data()[0]
+		}},
+		{name: "Transpose2D_768x3072", info: true, run: func() {
+			o := tensor.Transpose2D(tr)
+			sink += o.Data()[0]
+		}},
+		{name: "ConvLowering_32x3x32x32_k3x16", flops: float64(2*cb*oh*ow*cc*ck*ck*outC) + float64(cb*oh*ow*cc*ck*ck), run: func() {
+			tensor.Im2ColInto(cols, x, ck, ck, 1, 1)
+			o := tensor.ConvOut(cols, wmat, bias, cb, oh, ow)
+			sink += o.Data()[0]
+			o.Release()
+		}},
+	}
+}
+
+// bestOf runs f at least repeats times — and keeps going until minBudget of
+// wall-clock has been spent — returning the fastest run in ms. The budget
+// floor matters for the cheap workloads: a handful of ~10ms samples on a
+// busy machine can all land on noisy ticks, and the gate would read the
+// noise as a regression.
+const minBudget = 250 * time.Millisecond
+
+func bestOf(repeats int, f func()) float64 {
+	return bestOfBudget(repeats, minBudget, f)
+}
+
+func bestOfBudget(repeats int, budget time.Duration, f func()) float64 {
+	// Pay down any GC debt from earlier workloads before timing starts so a
+	// deferred collection doesn't land inside every sample of one suite.
+	runtime.GC()
+	best := 0.0
+	start := time.Now()
+	for i := 0; i < repeats || time.Since(start) < budget; i++ {
+		t0 := time.Now()
+		f()
+		ms := float64(time.Since(t0)) / float64(time.Millisecond)
+		if best == 0 || ms < best {
+			best = ms
+		}
+	}
+	return best
+}
+
+// TensorSuite measures the kernel workloads, serial (gated) and at NumCPU
+// workers (informational). repeats < 1 defaults to 5.
+func TensorSuite(repeats int) *Report {
+	if repeats < 1 {
+		repeats = 5
+	}
+	rep := newReport("tensor", repeats)
+	for _, kc := range tensorCases() {
+		prev := tensor.SetWorkers(1)
+		serial := bestOf(repeats, kc.run)
+		tensor.SetWorkers(runtime.NumCPU())
+		par := bestOf(repeats, kc.run)
+		tensor.SetWorkers(prev)
+		e := Entry{
+			Name:          kc.name,
+			SerialMS:      round3(serial),
+			Ratio:         round3(serial / rep.CalibMS),
+			ParallelMS:    round3(par),
+			Informational: kc.info,
+		}
+		if kc.flops > 0 {
+			e.GFLOPS = round3(kc.flops / (serial * 1e6))
+		}
+		rep.Entries = append(rep.Entries, e)
+	}
+	return rep
+}
+
+// RoundSuite measures the full round engine on the cross-device-1k preset
+// under the quick cap, serial (gated) and at NumCPU client workers
+// (informational). repeats < 1 defaults to 3.
+func RoundSuite(repeats int) (*Report, error) {
+	if repeats < 1 {
+		repeats = 3
+	}
+	sc, ok := sim.Preset("cross-device-1k")
+	if !ok {
+		return nil, fmt.Errorf("perf: preset cross-device-1k not registered")
+	}
+	rep := newReport("round", repeats)
+	runOnce := func(workers int) error {
+		_, err := sim.Run(sc, sim.Options{Quick: true, Workers: workers})
+		return err
+	}
+	// Warm the tensor arena and page caches once before timing.
+	if err := runOnce(1); err != nil {
+		return nil, err
+	}
+	var runErr error
+	timed := func(workers int) float64 {
+		// The round engine churns allocation, goroutines and GC, so single
+		// runs spread much wider than the pure kernels; give its best-of a
+		// bigger window to find a clean sample.
+		return bestOfBudget(repeats, 4*minBudget, func() {
+			if err := runOnce(workers); err != nil && runErr == nil {
+				runErr = err
+			}
+		})
+	}
+	prev := tensor.SetWorkers(1)
+	serial := timed(1)
+	tensor.SetWorkers(runtime.NumCPU())
+	par := timed(runtime.NumCPU())
+	tensor.SetWorkers(prev)
+	if runErr != nil {
+		return nil, runErr
+	}
+	rep.Entries = append(rep.Entries, Entry{
+		Name:       "round/cross-device-1k/quick",
+		SerialMS:   round3(serial),
+		Ratio:      round3(serial / rep.CalibMS),
+		ParallelMS: round3(par),
+	})
+	return rep, nil
+}
+
+func newReport(kind string, repeats int) *Report {
+	return &Report{
+		Schema:  Schema,
+		Kind:    kind,
+		GOOS:    runtime.GOOS,
+		GOARCH:  runtime.GOARCH,
+		CPUs:    runtime.NumCPU(),
+		Repeats: repeats,
+		CalibMS: round3(Calibrate()),
+	}
+}
+
+func round3(v float64) float64 {
+	return float64(int64(v*1000+0.5)) / 1000
+}
+
+// Write stores the report as indented JSON.
+func (r *Report) Write(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Load reads a committed report.
+func Load(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("perf: %s: %w", path, err)
+	}
+	if r.Schema != Schema {
+		return nil, fmt.Errorf("perf: %s: schema %d, want %d (refresh the baseline)", path, r.Schema, Schema)
+	}
+	return &r, nil
+}
+
+// GateResult is the trajectory comparison for one entry.
+type GateResult struct {
+	Name     string
+	Baseline float64 // committed ratio
+	Fresh    float64 // measured ratio
+	Delta    float64 // fractional change, +0.10 = 10% slower
+	Info     bool    // informational entry: trajectory only, never fails
+	Failed   bool
+}
+
+// String renders one trajectory line for CI logs.
+func (g GateResult) String() string {
+	verdict := "ok"
+	switch {
+	case g.Failed:
+		verdict = "FAIL"
+	case g.Info:
+		verdict = "info"
+	}
+	return fmt.Sprintf("%-36s baseline ratio %8.3f  fresh %8.3f  delta %+6.1f%%  %s",
+		g.Name, g.Baseline, g.Fresh, g.Delta*100, verdict)
+}
+
+// Gate compares a fresh report against the committed baseline: every baseline
+// entry must be present and its calibration-normalized ratio must not exceed
+// the baseline by more than tol (0.15 = 15%). Speedups always pass; they show
+// up as negative deltas in the trajectory so improvements get recorded in the
+// next baseline refresh. Returns per-entry results and an error if any entry
+// failed or disappeared.
+func Gate(baseline, fresh *Report, tol float64) ([]GateResult, error) {
+	freshBy := map[string]Entry{}
+	for _, e := range fresh.Entries {
+		freshBy[e.Name] = e
+	}
+	var results []GateResult
+	var failed []string
+	for _, base := range baseline.Entries {
+		f, ok := freshBy[base.Name]
+		if !ok {
+			results = append(results, GateResult{Name: base.Name, Baseline: base.Ratio, Failed: true})
+			failed = append(failed, base.Name+" (missing)")
+			continue
+		}
+		g := GateResult{
+			Name:     base.Name,
+			Baseline: base.Ratio,
+			Fresh:    f.Ratio,
+			Delta:    f.Ratio/base.Ratio - 1,
+			Info:     base.Informational,
+		}
+		g.Failed = !g.Info && g.Delta > tol
+		if g.Failed {
+			failed = append(failed, base.Name)
+		}
+		results = append(results, g)
+	}
+	if len(failed) > 0 {
+		return results, fmt.Errorf("perf: %d entr%s regressed beyond %.0f%%: %v",
+			len(failed), plural(len(failed)), tol*100, failed)
+	}
+	return results, nil
+}
+
+func plural(n int) string {
+	if n == 1 {
+		return "y"
+	}
+	return "ies"
+}

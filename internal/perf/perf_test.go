@@ -1,0 +1,138 @@
+package perf
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCalibratePositive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration takes ~100ms of spin")
+	}
+	ms := Calibrate()
+	if ms <= 0 {
+		t.Fatalf("Calibrate() = %v, want > 0", ms)
+	}
+}
+
+func TestGatePassesIdenticalReports(t *testing.T) {
+	r := &Report{Schema: Schema, Kind: "tensor", Entries: []Entry{
+		{Name: "a", Ratio: 10},
+		{Name: "b", Ratio: 2.5},
+	}}
+	results, err := Gate(r, r, 0.15)
+	if err != nil {
+		t.Fatalf("identical reports failed the gate: %v", err)
+	}
+	for _, g := range results {
+		if g.Failed || g.Delta != 0 {
+			t.Fatalf("identical entry flagged: %+v", g)
+		}
+	}
+}
+
+func TestGateCatchesRegression(t *testing.T) {
+	base := &Report{Entries: []Entry{{Name: "a", Ratio: 10}, {Name: "b", Ratio: 4}}}
+	fresh := &Report{Entries: []Entry{{Name: "a", Ratio: 11.6}, {Name: "b", Ratio: 4.1}}}
+	results, err := Gate(base, fresh, 0.15)
+	if err == nil {
+		t.Fatal("16% regression passed a 15% gate")
+	}
+	if !results[0].Failed || results[1].Failed {
+		t.Fatalf("wrong entries flagged: %+v", results)
+	}
+	if !strings.Contains(err.Error(), "a") {
+		t.Fatalf("error does not name the regressed entry: %v", err)
+	}
+}
+
+func TestGateAllowsSpeedupAndWithinTolerance(t *testing.T) {
+	base := &Report{Entries: []Entry{{Name: "a", Ratio: 10}, {Name: "b", Ratio: 4}}}
+	fresh := &Report{Entries: []Entry{{Name: "a", Ratio: 5}, {Name: "b", Ratio: 4.5}}}
+	if _, err := Gate(base, fresh, 0.15); err != nil {
+		t.Fatalf("speedup + 12.5%% slip failed the gate: %v", err)
+	}
+}
+
+func TestGateSkipsInformationalEntries(t *testing.T) {
+	base := &Report{Entries: []Entry{
+		{Name: "alu", Ratio: 10},
+		{Name: "dram", Ratio: 3, Informational: true},
+	}}
+	fresh := &Report{Entries: []Entry{
+		{Name: "alu", Ratio: 10.2},
+		{Name: "dram", Ratio: 9}, // 3x slower: recorded, never fatal
+	}}
+	results, err := Gate(base, fresh, 0.15)
+	if err != nil {
+		t.Fatalf("informational blow-up failed the gate: %v", err)
+	}
+	if !results[1].Info || results[1].Failed {
+		t.Fatalf("informational entry mishandled: %+v", results[1])
+	}
+}
+
+func TestGateFailsOnMissingEntry(t *testing.T) {
+	base := &Report{Entries: []Entry{{Name: "a", Ratio: 10}}}
+	fresh := &Report{Entries: []Entry{{Name: "other", Ratio: 1}}}
+	if _, err := Gate(base, fresh, 0.15); err == nil {
+		t.Fatal("missing baseline entry passed the gate")
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	r := &Report{Schema: Schema, Kind: "tensor", GOOS: "linux", GOARCH: "amd64",
+		CPUs: 4, Repeats: 5, CalibMS: 3.25,
+		Entries: []Entry{{Name: "k", SerialMS: 40.1, Ratio: 12.338, ParallelMS: 11.0, GFLOPS: 4.9}}}
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := r.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.CalibMS != r.CalibMS || len(got.Entries) != 1 || got.Entries[0] != r.Entries[0] {
+		t.Fatalf("round trip mismatch: %+v != %+v", got, r)
+	}
+}
+
+func TestLoadRejectsSchemaMismatch(t *testing.T) {
+	r := &Report{Schema: Schema + 1, Kind: "tensor"}
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := r.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("schema mismatch accepted")
+	}
+}
+
+// TestSuitesProduceGateableReports runs tiny-repeat suites end to end and
+// gates them against themselves; skipped under -short (the round suite runs
+// the cross-device-1k preset twice per measurement mode).
+func TestSuitesProduceGateableReports(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite measurement")
+	}
+	tr := TensorSuite(1)
+	if len(tr.Entries) == 0 || tr.CalibMS <= 0 {
+		t.Fatalf("tensor suite empty: %+v", tr)
+	}
+	for _, e := range tr.Entries {
+		if e.SerialMS <= 0 || e.Ratio <= 0 {
+			t.Fatalf("non-positive measurement: %+v", e)
+		}
+	}
+	if _, err := Gate(tr, tr, 0.15); err != nil {
+		t.Fatalf("self-gate failed: %v", err)
+	}
+	rr, err := RoundSuite(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rr.Entries) != 1 || rr.Entries[0].SerialMS <= 0 {
+		t.Fatalf("round suite malformed: %+v", rr)
+	}
+}

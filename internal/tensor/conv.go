@@ -2,6 +2,17 @@ package tensor
 
 import "fmt"
 
+// Conv lowering kernels. Im2Col/Col2Im translate between 4-D activations and
+// the 2-D column matrix that turns convolution into one matrix product;
+// ConvOut fuses the product's strided rearrange back to [B, outC, OH, OW]
+// (plus the bias add) into the lowering itself, so the [B*OH*OW, outC]
+// intermediate never materializes.
+
+// convOutDims computes the spatial output extent of a lowering.
+func convOutDims(h, w, kh, kw, stride, pad int) (oh, ow int) {
+	return (h+2*pad-kh)/stride + 1, (w+2*pad-kw)/stride + 1
+}
+
 // Im2Col lowers a 4-D activation tensor x of shape [B, C, H, W] into a 2-D
 // matrix of shape [B*OH*OW, C*KH*KW] so convolution becomes one matrix
 // product. Padding is zero-fill; stride applies to both axes.
@@ -10,69 +21,178 @@ func Im2Col(x *Tensor, kh, kw, stride, pad int) (*Tensor, int, int) {
 		panic(fmt.Sprintf("tensor: Im2Col requires [B,C,H,W], got %v", x.shape))
 	}
 	b, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
-	oh := (h+2*pad-kh)/stride + 1
-	ow := (w+2*pad-kw)/stride + 1
+	oh, ow := convOutDims(h, w, kh, kw, stride, pad)
 	if oh <= 0 || ow <= 0 {
 		panic(fmt.Sprintf("tensor: Im2Col output collapsed for input %v kernel %dx%d stride %d pad %d", x.shape, kh, kw, stride, pad))
 	}
 	cols := New(b*oh*ow, c*kh*kw)
-	row := 0
-	for bi := 0; bi < b; bi++ {
-		for oy := 0; oy < oh; oy++ {
-			for ox := 0; ox < ow; ox++ {
-				dst := cols.data[row*c*kh*kw : (row+1)*c*kh*kw]
-				di := 0
-				for ci := 0; ci < c; ci++ {
-					base := ((bi * c) + ci) * h * w
-					for ky := 0; ky < kh; ky++ {
-						iy := oy*stride - pad + ky
+	Im2ColInto(cols, x, kh, kw, stride, pad)
+	return cols, oh, ow
+}
+
+// Im2ColInto performs the Im2Col lowering into a caller-provided matrix of
+// shape [B*OH*OW, C*KH*KW], writing every element (zero-padding included) so
+// dst may be a reused workspace holding stale values from an earlier call.
+// This is the allocation-free core of Conv2D's forward pass: a layer keeps
+// one pooled cols workspace alive across rounds instead of allocating
+// B·OH·OW-sized garbage per batch.
+func Im2ColInto(dst, x *Tensor, kh, kw, stride, pad int) (int, int) {
+	if x.Dims() != 4 {
+		panic(fmt.Sprintf("tensor: Im2Col requires [B,C,H,W], got %v", x.shape))
+	}
+	b, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	oh, ow := convOutDims(h, w, kh, kw, stride, pad)
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("tensor: Im2Col output collapsed for input %v kernel %dx%d stride %d pad %d", x.shape, kh, kw, stride, pad))
+	}
+	if dst.Dims() != 2 || dst.shape[0] != b*oh*ow || dst.shape[1] != c*kh*kw {
+		panic(fmt.Sprintf("tensor: Im2ColInto dst %v, want [%d,%d]", dst.shape, b*oh*ow, c*kh*kw))
+	}
+	colW := c * kh * kw
+	// Rows partition cleanly across goroutines: row (bi, oy, ox) touches only
+	// its own dst slice, and reads of x are shared and immutable.
+	parallelRows(b*oh*ow, b*oh*ow*colW, func(lo, hi int) {
+		for row := lo; row < hi; row++ {
+			ox := row % ow
+			oy := (row / ow) % oh
+			bi := row / (oh * ow)
+			dstRow := dst.data[row*colW : (row+1)*colW]
+			di := 0
+			for ci := 0; ci < c; ci++ {
+				base := ((bi * c) + ci) * h * w
+				for ky := 0; ky < kh; ky++ {
+					iy := oy*stride - pad + ky
+					if iy < 0 || iy >= h {
 						for kx := 0; kx < kw; kx++ {
-							ix := ox*stride - pad + kx
-							if iy >= 0 && iy < h && ix >= 0 && ix < w {
-								dst[di] = x.data[base+iy*w+ix]
-							}
+							dstRow[di] = 0
 							di++
 						}
+						continue
+					}
+					for kx := 0; kx < kw; kx++ {
+						ix := ox*stride - pad + kx
+						if ix >= 0 && ix < w {
+							dstRow[di] = x.data[base+iy*w+ix]
+						} else {
+							dstRow[di] = 0
+						}
+						di++
 					}
 				}
-				row++
 			}
 		}
+	})
+	return oh, ow
+}
+
+// ConvOut fuses the three tail steps of the im2col convolution —
+// prod = cols·wmatᵀ, the strided rearrange [B*OH*OW, outC] → [B, outC, OH, OW],
+// and the bias add — into one kernel. cols is [B*OH*OW, C*KH*KW], wmat is
+// [outC, C*KH*KW], bias has outC elements (nil means no bias). Each output
+// element is dot(cols row, wmat row) + bias — the same 4-way unrolled dot and
+// trailing bias add the unfused path performed, so results are bit-identical
+// while the [B*OH*OW, outC] intermediate and its full rewrite pass disappear.
+func ConvOut(cols, wmat *Tensor, bias []float64, b, oh, ow int) *Tensor {
+	if cols.Dims() != 2 || wmat.Dims() != 2 {
+		panic(fmt.Sprintf("tensor: ConvOut requires 2-D operands, got %v × %v", cols.shape, wmat.shape))
 	}
-	return cols, oh, ow
+	rows, colW := cols.shape[0], cols.shape[1]
+	outC, k2 := wmat.shape[0], wmat.shape[1]
+	if colW != k2 {
+		panic(fmt.Sprintf("tensor: ConvOut inner dimension mismatch %v × %vᵀ", cols.shape, wmat.shape))
+	}
+	if rows != b*oh*ow {
+		panic(fmt.Sprintf("tensor: ConvOut cols rows %d != B*OH*OW = %d*%d*%d", rows, b, oh, ow))
+	}
+	if bias != nil && len(bias) != outC {
+		panic(fmt.Sprintf("tensor: ConvOut bias length %d != outC %d", len(bias), outC))
+	}
+	out := NewPooled(b, outC, oh, ow)
+	cd, wd, od := cols.data, wmat.data, out.data
+	ohw := oh * ow
+	// Partition by cols row: row r = (bi, oy, ox) owns output elements
+	// od[(bi*outC+oc)*ohw + oy*ow+ox] for every oc — disjoint across rows.
+	parallelRows(rows, rows*colW*outC, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			crow := cd[r*colW : (r+1)*colW]
+			bi := r / ohw
+			spatial := r % ohw
+			pos := bi*outC*ohw + spatial
+			oc := 0
+			for ; oc+2 <= outC; oc += 2 {
+				v0, v1 := dot2(wd[oc*colW:(oc+1)*colW], wd[(oc+1)*colW:(oc+2)*colW], crow)
+				if bias != nil {
+					v0 += bias[oc]
+					v1 += bias[oc+1]
+				}
+				od[pos+oc*ohw] = v0
+				od[pos+(oc+1)*ohw] = v1
+			}
+			if oc < outC {
+				v := dot(crow, wd[oc*colW:(oc+1)*colW])
+				if bias != nil {
+					v += bias[oc]
+				}
+				od[pos+oc*ohw] = v
+			}
+		}
+	})
+	return out
 }
 
 // Col2Im is the adjoint of Im2Col: it scatters the 2-D column gradient back
 // into a 4-D tensor of shape [B, C, H, W], accumulating overlaps.
 func Col2Im(cols *Tensor, b, c, h, w, kh, kw, stride, pad int) *Tensor {
-	oh := (h+2*pad-kh)/stride + 1
-	ow := (w+2*pad-kw)/stride + 1
+	out := NewPooled(b, c, h, w)
+	Col2ImInto(out, cols, kh, kw, stride, pad)
+	return out
+}
+
+// Col2ImInto scatters the column gradient into a caller-provided [B, C, H, W]
+// tensor, zeroing it first (overlapping windows accumulate). Batches
+// partition across goroutines: every window of cols row (bi, oy, ox) lands in
+// batch bi's image, so batch spans own disjoint output regions.
+func Col2ImInto(out, cols *Tensor, kh, kw, stride, pad int) {
+	if out.Dims() != 4 {
+		panic(fmt.Sprintf("tensor: Col2ImInto requires [B,C,H,W] dst, got %v", out.shape))
+	}
+	b, c, h, w := out.shape[0], out.shape[1], out.shape[2], out.shape[3]
+	oh, ow := convOutDims(h, w, kh, kw, stride, pad)
 	if cols.Dims() != 2 || cols.shape[0] != b*oh*ow || cols.shape[1] != c*kh*kw {
 		panic(fmt.Sprintf("tensor: Col2Im shape mismatch cols %v for output [%d,%d,%d,%d]", cols.shape, b, c, h, w))
 	}
-	out := New(b, c, h, w)
-	row := 0
-	for bi := 0; bi < b; bi++ {
-		for oy := 0; oy < oh; oy++ {
-			for ox := 0; ox < ow; ox++ {
-				src := cols.data[row*c*kh*kw : (row+1)*c*kh*kw]
-				si := 0
-				for ci := 0; ci < c; ci++ {
-					base := ((bi * c) + ci) * h * w
-					for ky := 0; ky < kh; ky++ {
-						iy := oy*stride - pad + ky
-						for kx := 0; kx < kw; kx++ {
-							ix := ox*stride - pad + kx
-							if iy >= 0 && iy < h && ix >= 0 && ix < w {
-								out.data[base+iy*w+ix] += src[si]
+	colW := c * kh * kw
+	imSize := c * h * w
+	parallelRows(b, b*oh*ow*colW, func(blo, bhi int) {
+		for bi := blo; bi < bhi; bi++ {
+			for i := bi * imSize; i < (bi+1)*imSize; i++ {
+				out.data[i] = 0
+			}
+			row := bi * oh * ow
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					src := cols.data[row*colW : (row+1)*colW]
+					si := 0
+					for ci := 0; ci < c; ci++ {
+						base := ((bi * c) + ci) * h * w
+						for ky := 0; ky < kh; ky++ {
+							iy := oy*stride - pad + ky
+							if iy < 0 || iy >= h {
+								si += kw
+								continue
 							}
-							si++
+							for kx := 0; kx < kw; kx++ {
+								ix := ox*stride - pad + kx
+								if ix >= 0 && ix < w {
+									out.data[base+iy*w+ix] += src[si]
+								}
+								si++
+							}
 						}
 					}
+					row++
 				}
-				row++
 			}
 		}
-	}
-	return out
+	})
 }

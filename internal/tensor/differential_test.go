@@ -1,0 +1,299 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+	rand "math/rand/v2"
+	"runtime"
+	"testing"
+)
+
+// Differential suite: the blocked, goroutine-tiled kernels must be
+// bit-identical to the retained pre-blocking reference implementations in
+// ref.go — over randomized shapes (including ragged tails smaller than every
+// block size), with operands containing exact zeros (the refs take their
+// sparse-skip branch, the new kernels do not), and across worker counts.
+// CI runs this under -race, which also certifies the row-span ownership
+// discipline of parallelRows.
+
+// workerCounts are the fan-outs each differential case runs under; results
+// must not differ by a single bit between any of them.
+func workerCounts() []int {
+	return []int{1, 4, runtime.NumCPU()}
+}
+
+// withWorkers runs f under each worker count, restoring the previous setting.
+func withWorkers(t *testing.T, f func(t *testing.T, workers int)) {
+	t.Helper()
+	for _, w := range workerCounts() {
+		prev := SetWorkers(w)
+		f(t, w)
+		SetWorkers(prev)
+	}
+}
+
+// fillMixed fills t with Gaussian values, then plants exact zeros (and a few
+// negative zeros) so the reference kernels' av == 0 branches actually fire.
+func fillMixed(t *Tensor, rng *rand.Rand) {
+	t.FillRandn(rng, 1)
+	for i := range t.data {
+		switch rng.IntN(16) {
+		case 0:
+			t.data[i] = 0
+		case 1:
+			t.data[i] = math.Copysign(0, -1)
+		}
+	}
+}
+
+// mustBitIdentical fails unless got and want agree in shape and every
+// element's exact bit pattern.
+func mustBitIdentical(t *testing.T, op string, got, want *Tensor) {
+	t.Helper()
+	if !got.SameShape(want) {
+		t.Fatalf("%s: shape %v != reference %v", op, got.shape, want.shape)
+	}
+	for i := range want.data {
+		if math.Float64bits(got.data[i]) != math.Float64bits(want.data[i]) {
+			t.Fatalf("%s: element %d = %x (%g), reference %x (%g)",
+				op, i, math.Float64bits(got.data[i]), got.data[i],
+				math.Float64bits(want.data[i]), want.data[i])
+		}
+	}
+}
+
+// differentialShapes covers the blocking edge cases: dimensions of 1, sizes
+// straddling transBRowBlock, mulColBlock, transposeTile and the dot unroll
+// width, plus ragged tails and an odd row count (the dot2 pairing tail).
+func differentialShapes(rng *rand.Rand) [][3]int {
+	shapes := [][3]int{
+		{1, 1, 1},
+		{1, 5, 3},
+		{3, 4, 1},
+		{7, 9, 5},               // everything smaller than every block
+		{8, 33, transBRowBlock}, // ragged k tail for the 4-way dot unroll
+		{5, 64, transBRowBlock + 1},
+		{transBRowBlock + 3, 17, 2*transBRowBlock - 1},
+		{2, mulColBlock + 7, 3},
+		{3, 130, mulColBlock + 9}, // n straddling the packed panel width
+		{transposeTile + 1, 8, transposeTile*2 + 5},
+		{63, 31, 65}, // odd m: dot2 pairing leaves a tail row
+	}
+	// A few fully random shapes for luck.
+	for i := 0; i < 4; i++ {
+		shapes = append(shapes, [3]int{1 + rng.IntN(70), 1 + rng.IntN(600), 1 + rng.IntN(550)})
+	}
+	return shapes
+}
+
+func TestMatMulBitIdenticalToReference(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 13))
+	for _, sh := range differentialShapes(rng) {
+		m, k, n := sh[0], sh[1], sh[2]
+		a := New(m, k)
+		fillMixed(a, rng)
+		b := New(k, n)
+		fillMixed(b, rng)
+		want := matMulRef(a, b)
+		withWorkers(t, func(t *testing.T, w int) {
+			mustBitIdentical(t, fmt.Sprintf("MatMul %dx%dx%d workers=%d", m, k, n, w), MatMul(a, b), want)
+		})
+	}
+}
+
+func TestMatMulTransBBitIdenticalToReference(t *testing.T) {
+	rng := rand.New(rand.NewPCG(17, 19))
+	for _, sh := range differentialShapes(rng) {
+		m, k, n := sh[0], sh[1], sh[2]
+		a := New(m, k)
+		fillMixed(a, rng)
+		b := New(n, k)
+		fillMixed(b, rng)
+		want := matMulTransBRef(a, b)
+		withWorkers(t, func(t *testing.T, w int) {
+			mustBitIdentical(t, fmt.Sprintf("MatMulTransB %dx%dx%d workers=%d", m, k, n, w), MatMulTransB(a, b), want)
+		})
+	}
+}
+
+func TestMatMulTransABitIdenticalToReference(t *testing.T) {
+	rng := rand.New(rand.NewPCG(23, 29))
+	shapes := differentialShapes(rng)
+	// Force both TransA regimes: a small output (kk-outer path) with large k,
+	// and an output big enough for the packed-panel path.
+	shapes = append(shapes, [3]int{24, 2048, 96}, [3]int{300, 40, 400})
+	for _, sh := range shapes {
+		m, k, n := sh[0], sh[1], sh[2]
+		a := New(k, m) // transA layout
+		fillMixed(a, rng)
+		b := New(k, n)
+		fillMixed(b, rng)
+		want := matMulTransARef(a, b)
+		withWorkers(t, func(t *testing.T, w int) {
+			mustBitIdentical(t, fmt.Sprintf("MatMulTransA %dx%dx%d workers=%d", m, k, n, w), MatMulTransA(a, b), want)
+		})
+	}
+}
+
+func TestTranspose2DBitIdenticalToReference(t *testing.T) {
+	rng := rand.New(rand.NewPCG(31, 37))
+	for _, sh := range differentialShapes(rng) {
+		m, n := sh[0], sh[2]
+		a := New(m, n)
+		fillMixed(a, rng)
+		want := transpose2DRef(a)
+		withWorkers(t, func(t *testing.T, w int) {
+			mustBitIdentical(t, fmt.Sprintf("Transpose2D %dx%d workers=%d", m, n, w), Transpose2D(a), want)
+		})
+	}
+}
+
+// TestConvOutMatchesUnfusedPath checks the fused matmul+rearrange+bias kernel
+// against the historical three-step lowering, bit for bit.
+func TestConvOutMatchesUnfusedPath(t *testing.T) {
+	rng := rand.New(rand.NewPCG(41, 43))
+	cases := []struct{ b, c, h, w, outC, k, stride, pad int }{
+		{2, 3, 8, 8, 4, 3, 1, 1},
+		{1, 1, 5, 7, 1, 3, 2, 0},
+		{3, 2, 9, 9, 7, 3, 1, 1}, // odd outC: dot2 pairing leaves a tail
+		{2, 4, 6, 6, 16, 5, 1, 2},
+	}
+	for _, cse := range cases {
+		x := New(cse.b, cse.c, cse.h, cse.w)
+		fillMixed(x, rng)
+		wt := New(cse.outC, cse.c*cse.k*cse.k)
+		fillMixed(wt, rng)
+		bias := make([]float64, cse.outC)
+		for i := range bias {
+			bias[i] = rng.NormFloat64()
+		}
+		cols, oh, ow := Im2Col(x, cse.k, cse.k, cse.stride, cse.pad)
+		// Unfused reference: serial matmul, then rearrange + bias add.
+		prod := matMulTransBRef(cols, wt)
+		want := New(cse.b, cse.outC, oh, ow)
+		pd, wd := prod.data, want.data
+		for bi := 0; bi < cse.b; bi++ {
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					row := pd[((bi*oh+oy)*ow+ox)*cse.outC:]
+					for oc := 0; oc < cse.outC; oc++ {
+						wd[((bi*cse.outC+oc)*oh+oy)*ow+ox] = row[oc] + bias[oc]
+					}
+				}
+			}
+		}
+		withWorkers(t, func(t *testing.T, w int) {
+			got := ConvOut(cols, wt, bias, cse.b, oh, ow)
+			mustBitIdentical(t, fmt.Sprintf("ConvOut %+v workers=%d", cse, w), got, want)
+			got.Release()
+		})
+		// And without bias.
+		prodOnly := New(cse.b, cse.outC, oh, ow)
+		for bi := 0; bi < cse.b; bi++ {
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					row := pd[((bi*oh+oy)*ow+ox)*cse.outC:]
+					for oc := 0; oc < cse.outC; oc++ {
+						prodOnly.data[((bi*cse.outC+oc)*oh+oy)*ow+ox] = row[oc]
+					}
+				}
+			}
+		}
+		mustBitIdentical(t, "ConvOut nil bias", ConvOut(cols, wt, nil, cse.b, oh, ow), prodOnly)
+	}
+}
+
+// TestIm2ColIntoOverwritesStaleWorkspace reuses one dirty workspace across
+// different inputs; every element, padding included, must be rewritten.
+func TestIm2ColIntoOverwritesStaleWorkspace(t *testing.T) {
+	rng := rand.New(rand.NewPCG(47, 53))
+	x1 := New(2, 3, 8, 8)
+	fillMixed(x1, rng)
+	x2 := New(2, 3, 8, 8)
+	fillMixed(x2, rng)
+	want, _, _ := Im2Col(x2, 3, 3, 1, 1)
+	ws, _, _ := Im2Col(x1, 3, 3, 1, 1)
+	ws.Fill(math.NaN()) // poison: any skipped element is caught below
+	withWorkers(t, func(t *testing.T, w int) {
+		Im2ColInto(ws, x2, 3, 3, 1, 1)
+		mustBitIdentical(t, fmt.Sprintf("Im2ColInto workers=%d", w), ws, want)
+		ws.Fill(math.NaN())
+	})
+}
+
+// TestCol2ImIntoZeroesDirtyDst mirrors the workspace test for the adjoint.
+func TestCol2ImIntoZeroesDirtyDst(t *testing.T) {
+	rng := rand.New(rand.NewPCG(59, 61))
+	x := New(3, 2, 9, 9)
+	fillMixed(x, rng)
+	cols, _, _ := Im2Col(x, 3, 3, 2, 1)
+	fillMixed(cols, rng)
+	want := Col2Im(cols, 3, 2, 9, 9, 3, 3, 2, 1)
+	dst := New(3, 2, 9, 9)
+	withWorkers(t, func(t *testing.T, w int) {
+		dst.Fill(math.NaN())
+		Col2ImInto(dst, cols, 3, 3, 2, 1)
+		mustBitIdentical(t, fmt.Sprintf("Col2ImInto workers=%d", w), dst, want)
+	})
+}
+
+func TestSetWorkersRoundTrip(t *testing.T) {
+	prev := SetWorkers(3)
+	defer SetWorkers(prev)
+	if got := Workers(); got != 3 {
+		t.Fatalf("Workers() = %d after SetWorkers(3)", got)
+	}
+	if old := SetWorkers(0); old != 3 {
+		t.Fatalf("SetWorkers returned %d, want 3", old)
+	}
+	if got := Workers(); got != runtime.NumCPU() {
+		t.Fatalf("Workers() = %d after reset, want NumCPU = %d", got, runtime.NumCPU())
+	}
+}
+
+// TestPooledTensorsAreZeroed drives buffers through the arena with garbage in
+// them and checks NewPooled is indistinguishable from New.
+func TestPooledTensorsAreZeroed(t *testing.T) {
+	for i := 0; i < 8; i++ {
+		p := NewPooled(70, 30) // 2100 floats: above the pooling threshold
+		for j := range p.Data() {
+			if p.Data()[j] != 0 {
+				t.Fatalf("iteration %d: NewPooled buffer not zeroed at %d", i, j)
+			}
+		}
+		p.Fill(math.NaN())
+		p.Release()
+	}
+}
+
+func TestReleaseIsIdempotentAndNilSafe(t *testing.T) {
+	var nilT *Tensor
+	nilT.Release() // must not panic
+	p := NewPooled(64, 64)
+	p.Release()
+	p.Release() // double release must be a no-op
+	if p.Data() != nil {
+		t.Fatal("released tensor still exposes data")
+	}
+}
+
+// TestMatVecMatchesBatchedTransB pins the equivalence the core package's
+// ActivationSets batching relies on: one MatMulTransB row equals the per-row
+// MatVec, bit for bit.
+func TestMatVecMatchesBatchedTransB(t *testing.T) {
+	rng := rand.New(rand.NewPCG(67, 71))
+	w := New(37, 53)
+	fillMixed(w, rng)
+	inputs := New(9, 53)
+	fillMixed(inputs, rng)
+	z := MatMulTransB(inputs, w)
+	for j := 0; j < inputs.Dim(0); j++ {
+		mv := MatVec(w, inputs.RowView(j))
+		zr := z.RowView(j)
+		for i := range mv {
+			if math.Float64bits(mv[i]) != math.Float64bits(zr[i]) {
+				t.Fatalf("row %d neuron %d: MatVec %g != batched %g", j, i, mv[i], zr[i])
+			}
+		}
+	}
+}

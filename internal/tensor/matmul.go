@@ -2,6 +2,50 @@ package tensor
 
 import "fmt"
 
+// Matrix kernels: cache-blocked, goroutine-tiled, and bit-identical to the
+// historical serial implementations retained in ref.go.
+//
+// Three rules keep results reproducible while everything else about the
+// loops is rearranged for locality:
+//
+//  1. Fixed summation order. Every output element accumulates its k products
+//     in ascending-k order (MatMulTransB through the same 4-way unrolled dot
+//     the serial kernel used), so no tiling choice changes a rounding step.
+//     The inner dimension is never split across partial sums.
+//  2. Exclusive ownership. Goroutines receive disjoint row spans of the
+//     output (parallelRows); each element is computed start-to-finish by
+//     exactly one goroutine. No atomics, no reductions, no races.
+//  3. Dense inner loops. The historical `av == 0` sparse-skip branches are
+//     gone: operands here are dense Gaussian activations, so the branch was
+//     a mispredict tax on every innermost iteration, and for finite inputs
+//     adding the ±0.0 terms it skipped cannot change an IEEE-754 sum (the
+//     differential tests assert exact equality against the branchy refs).
+//
+// Blocking scheme: the output is tiled into column panels (mulColBlock wide);
+// operands whose panel columns stride across wide rows (MatMul, MatMulTransA)
+// are packed into a contiguous pooled buffer once per panel and reused across
+// the whole row span, so steady-state traffic is panel-sized instead of
+// operand-sized. MatMulTransB's B rows are already contiguous, so it tiles
+// without packing and amortizes each B row over two A rows per pass (dot2).
+const (
+	// mulColBlock is the output-column panel width for the packed kernels:
+	// 512 float64s keep a packed panel row plus the matching output chunk
+	// inside L1 while a whole k×512 panel stays L2-resident for reuse.
+	mulColBlock = 512
+	// transBRowBlock is how many B rows (output columns) MatMulTransB holds
+	// hot per pass over a row span; 32 rows of a 3072-wide B is 768 KiB,
+	// sized for the L2 the attack-shaped matmuls stream through.
+	transBRowBlock = 32
+	// transASmallOut: below this many output elements MatMulTransA keeps the
+	// historical kk-outer order (the whole output stays cache-resident, so
+	// panel packing would only add copies).
+	transASmallOut = 1 << 14
+	// transposeTile is the square tile edge for Transpose2D: 32×32 float64
+	// tiles (8 KiB) keep both the row-major reads and the column-major
+	// writes inside L1 while a tile is live.
+	transposeTile = 32
+)
+
 // MatMul returns the matrix product a·b for 2-D tensors a (m×k) and b (k×n).
 func MatMul(a, b *Tensor) *Tensor {
 	if a.Dims() != 2 || b.Dims() != 2 {
@@ -12,23 +56,29 @@ func MatMul(a, b *Tensor) *Tensor {
 	if k != k2 {
 		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v × %v", a.shape, b.shape))
 	}
-	out := New(m, n)
-	// ikj loop order keeps the inner loop contiguous over both b and out,
-	// which matters on the single-core runners this repo targets.
-	for i := 0; i < m; i++ {
-		arow := a.data[i*k : (i+1)*k]
-		orow := out.data[i*n : (i+1)*n]
-		for kk := 0; kk < k; kk++ {
-			av := arow[kk]
-			if av == 0 {
-				continue
+	out := NewPooled(m, n)
+	ad, bd, od := a.data, b.data, out.data
+	parallelRows(m, m*k*n, func(lo, hi int) {
+		w0 := min(mulColBlock, n)
+		panel := getBuf(k * w0)
+		for jb := 0; jb < n; jb += mulColBlock {
+			je := min(jb+mulColBlock, n)
+			w := je - jb
+			// Pack B's column panel b[:, jb:je] contiguously so the
+			// accumulation loop streams it without striding across n.
+			for kk := 0; kk < k; kk++ {
+				copy(panel[kk*w:(kk+1)*w], bd[kk*n+jb:kk*n+je])
 			}
-			brow := b.data[kk*n : (kk+1)*n]
-			for j, bv := range brow {
-				orow[j] += av * bv
+			for i := lo; i < hi; i++ {
+				arow := ad[i*k : (i+1)*k]
+				orow := od[i*n+jb : i*n+je]
+				for kk := 0; kk < k; kk++ {
+					axpy(orow, arow[kk], panel[kk*w:(kk+1)*w])
+				}
 			}
 		}
-	}
+		putBuf(panel)
+	})
 	return out
 }
 
@@ -42,21 +92,125 @@ func MatMulTransB(a, b *Tensor) *Tensor {
 	if k != k2 {
 		panic(fmt.Sprintf("tensor: MatMulTransB inner dimension mismatch %v × %vᵀ", a.shape, b.shape))
 	}
-	out := New(m, n)
-	for i := 0; i < m; i++ {
-		arow := a.data[i*k : (i+1)*k]
-		orow := out.data[i*n : (i+1)*n]
-		for j := 0; j < n; j++ {
-			brow := b.data[j*k : (j+1)*k]
-			orow[j] = dot(arow, brow)
+	out := NewPooled(m, n)
+	matMulTransBInto(out.data, a.data, b.data, m, k, n)
+	return out
+}
+
+// matMulTransBInto computes out = a·bᵀ into a caller-provided m×n buffer.
+func matMulTransBInto(od, ad, bd []float64, m, k, n int) {
+	parallelRows(m, m*k*n, func(lo, hi int) {
+		for jb := 0; jb < n; jb += transBRowBlock {
+			je := min(jb+transBRowBlock, n)
+			// Two A rows per pass over the hot B panel: halves panel reads
+			// per output element; dot2 preserves each row's dot order.
+			i := lo
+			for ; i+2 <= hi; i += 2 {
+				a0 := ad[i*k : (i+1)*k]
+				a1 := ad[(i+1)*k : (i+2)*k]
+				o0 := od[i*n : (i+1)*n]
+				o1 := od[(i+1)*n : (i+2)*n]
+				for j := jb; j < je; j++ {
+					o0[j], o1[j] = dot2(a0, a1, bd[j*k:(j+1)*k])
+				}
+			}
+			if i < hi {
+				arow := ad[i*k : (i+1)*k]
+				orow := od[i*n : (i+1)*n]
+				for j := jb; j < je; j++ {
+					orow[j] = dot(arow, bd[j*k:(j+1)*k])
+				}
+			}
 		}
+	})
+}
+
+// MatMulTransA returns aᵀ·b for a (k×m) and b (k×n).
+func MatMulTransA(a, b *Tensor) *Tensor {
+	if a.Dims() != 2 || b.Dims() != 2 {
+		panic(fmt.Sprintf("tensor: MatMulTransA requires 2-D operands, got %vᵀ × %v", a.shape, b.shape))
 	}
+	k, m := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTransA inner dimension mismatch %vᵀ × %v", a.shape, b.shape))
+	}
+	out := NewPooled(m, n)
+	ad, bd, od := a.data, b.data, out.data
+	flops := k * m * n
+	if m*n <= transASmallOut {
+		// Small output (conv weight gradients): the whole m×n result is
+		// cache-resident, so keep the historical kk-outer sweep — minus the
+		// sparse-skip branch — and split the output rows across workers.
+		parallelRows(m, flops, func(lo, hi int) {
+			for kk := 0; kk < k; kk++ {
+				arow := ad[kk*m : (kk+1)*m]
+				brow := bd[kk*n : (kk+1)*n]
+				for i := lo; i < hi; i++ {
+					axpy(od[i*n:(i+1)*n], arow[i], brow)
+				}
+			}
+		})
+		return out
+	}
+	// Large output (malicious-layer weight gradients, e.g. 3072×500): tile
+	// output columns and pack B's panel once per span so each output tile
+	// accumulates from L1/L2-resident data. Per element the k products still
+	// fold in ascending-k order.
+	parallelRows(m, flops, func(lo, hi int) {
+		w0 := min(mulColBlock, n)
+		panel := getBuf(k * w0)
+		for jb := 0; jb < n; jb += mulColBlock {
+			je := min(jb+mulColBlock, n)
+			w := je - jb
+			for kk := 0; kk < k; kk++ {
+				copy(panel[kk*w:(kk+1)*w], bd[kk*n+jb:kk*n+je])
+			}
+			for i := lo; i < hi; i++ {
+				orow := od[i*n+jb : i*n+je]
+				for kk := 0; kk < k; kk++ {
+					axpy(orow, ad[kk*m+i], panel[kk*w:(kk+1)*w])
+				}
+			}
+		}
+		putBuf(panel)
+	})
+	return out
+}
+
+// Transpose2D returns the transpose of a 2-D tensor, copying tile-wise so
+// both the reads and the column-strided writes stay cache-resident (the
+// element-at-a-time loop thrashed on the 3072-wide attack matrices).
+func Transpose2D(a *Tensor) *Tensor {
+	if a.Dims() != 2 {
+		panic(fmt.Sprintf("tensor: Transpose2D requires 2-D operand, got %v", a.shape))
+	}
+	m, n := a.shape[0], a.shape[1]
+	out := NewPooled(n, m)
+	ad, od := a.data, out.data
+	parallelRows(m, 8*m*n, func(lo, hi int) {
+		for ib := lo; ib < hi; ib += transposeTile {
+			ie := min(ib+transposeTile, hi)
+			for jb := 0; jb < n; jb += transposeTile {
+				je := min(jb+transposeTile, n)
+				for j := jb; j < je; j++ {
+					for i := ib; i < ie; i++ {
+						od[j*m+i] = ad[i*n+j]
+					}
+				}
+			}
+		}
+	})
 	return out
 }
 
 // dot is a 4-way unrolled inner product; the unroll breaks the loop-carried
-// dependence that otherwise serializes FP adds on the scalar backend.
+// dependence that otherwise serializes FP adds on the scalar backend. Its
+// exact accumulation pattern (four strided partials, folded s0+s1+s2+s3,
+// then the ragged tail) is part of the package's determinism contract: dot2
+// and any future variant must reproduce it per row.
 func dot(a, b []float64) float64 {
+	b = b[:len(a)] // bounds-check elimination for the k-indexed loads below
 	var s0, s1, s2, s3 float64
 	k := 0
 	for ; k+4 <= len(a); k += 4 {
@@ -72,46 +226,49 @@ func dot(a, b []float64) float64 {
 	return s
 }
 
-// MatMulTransA returns aᵀ·b for a (k×m) and b (k×n).
-func MatMulTransA(a, b *Tensor) *Tensor {
-	if a.Dims() != 2 || b.Dims() != 2 {
-		panic(fmt.Sprintf("tensor: MatMulTransA requires 2-D operands, got %vᵀ × %v", a.shape, b.shape))
+// dot2 computes a·c and b·c in one pass over c, each with exactly dot's
+// accumulation pattern, so pairing rows for panel reuse cannot perturb a bit.
+func dot2(a, b, c []float64) (float64, float64) {
+	a = a[:len(c)] // bounds-check elimination for the k-indexed loads below
+	b = b[:len(c)]
+	var s0, s1, s2, s3 float64
+	var t0, t1, t2, t3 float64
+	k := 0
+	for ; k+4 <= len(c); k += 4 {
+		c0, c1, c2, c3 := c[k], c[k+1], c[k+2], c[k+3]
+		s0 += a[k] * c0
+		s1 += a[k+1] * c1
+		s2 += a[k+2] * c2
+		s3 += a[k+3] * c3
+		t0 += b[k] * c0
+		t1 += b[k+1] * c1
+		t2 += b[k+2] * c2
+		t3 += b[k+3] * c3
 	}
-	k, m := a.shape[0], a.shape[1]
-	k2, n := b.shape[0], b.shape[1]
-	if k != k2 {
-		panic(fmt.Sprintf("tensor: MatMulTransA inner dimension mismatch %vᵀ × %v", a.shape, b.shape))
+	s := s0 + s1 + s2 + s3
+	t := t0 + t1 + t2 + t3
+	for ; k < len(c); k++ {
+		s += a[k] * c[k]
+		t += b[k] * c[k]
 	}
-	out := New(m, n)
-	for kk := 0; kk < k; kk++ {
-		arow := a.data[kk*m : (kk+1)*m]
-		brow := b.data[kk*n : (kk+1)*n]
-		for i, av := range arow {
-			if av == 0 {
-				continue
-			}
-			orow := out.data[i*n : (i+1)*n]
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
-		}
-	}
-	return out
+	return s, t
 }
 
-// Transpose2D returns the transpose of a 2-D tensor.
-func Transpose2D(a *Tensor) *Tensor {
-	if a.Dims() != 2 {
-		panic(fmt.Sprintf("tensor: Transpose2D requires 2-D operand, got %v", a.shape))
+// axpy computes y[j] += a*x[j]. Each element gets exactly one fused
+// multiply-add per call, so the 4-way unroll is order-neutral: accumulation
+// order across calls is fixed by the caller's k loop.
+func axpy(y []float64, a float64, x []float64) {
+	y = y[:len(x)]
+	j := 0
+	for ; j+4 <= len(x); j += 4 {
+		y[j] += a * x[j]
+		y[j+1] += a * x[j+1]
+		y[j+2] += a * x[j+2]
+		y[j+3] += a * x[j+3]
 	}
-	m, n := a.shape[0], a.shape[1]
-	out := New(n, m)
-	for i := 0; i < m; i++ {
-		for j := 0; j < n; j++ {
-			out.data[j*m+i] = a.data[i*n+j]
-		}
+	for ; j < len(x); j++ {
+		y[j] += a * x[j]
 	}
-	return out
 }
 
 // MatVec returns the matrix-vector product a·x for a (m×k) and x of length k.
@@ -130,7 +287,8 @@ func MatVec(a *Tensor, x []float64) []float64 {
 	return out
 }
 
-// Row returns a copy of row i of a 2-D tensor.
+// Row returns a copy of row i of a 2-D tensor. Call sites that only read the
+// row should use RowView and skip the copy.
 func (t *Tensor) Row(i int) []float64 {
 	if t.Dims() != 2 {
 		panic(fmt.Sprintf("tensor: Row requires 2-D tensor, got %v", t.shape))

@@ -1,0 +1,76 @@
+package tensor
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// The workspace arena: size-bucketed sync.Pools of float64 slices. Hot-path
+// code (conv lowering workspaces, per-round gradient scratch) allocates
+// tensors whose lifetime it fully controls from here via NewPooled and hands
+// the backing array back with Release, so per-round allocation volume stops
+// scaling with batch·OH·OW and the garbage collector sees a near-constant
+// live set at 1000-client populations.
+//
+// Buckets hold slices with capacity 2^b ≤ cap < 2^(b+1); a Get reslices a
+// recycled array to the requested length and zeroes it, so a pooled tensor is
+// indistinguishable from a New one.
+
+// minPoolBucket is the smallest pooled capacity class (2^10 floats = 8 KiB);
+// smaller buffers are cheaper to allocate than to pool.
+const minPoolBucket = 10
+
+var bufPools [64]sync.Pool
+
+// getBuf returns a zeroed []float64 of length n, reusing a pooled array when
+// one is available.
+func getBuf(n int) []float64 {
+	if n == 0 {
+		return nil
+	}
+	b := bits.Len(uint(n - 1)) // bucket whose arrays have cap ≥ n
+	if b >= minPoolBucket {
+		if v := bufPools[b].Get(); v != nil {
+			s := v.([]float64)[:n]
+			for i := range s {
+				s[i] = 0
+			}
+			return s
+		}
+	}
+	return make([]float64, n, 1<<b)
+}
+
+// putBuf recycles a buffer into its size bucket. The caller must not retain
+// any reference (including subslices or Reshape views) to s afterwards.
+func putBuf(s []float64) {
+	c := cap(s)
+	if c < 1<<minPoolBucket {
+		return
+	}
+	b := bits.Len(uint(c)) - 1 // bucket whose arrays have cap ≥ 2^b
+	bufPools[b].Put(s[:0:c])
+}
+
+// NewPooled returns a zero-filled tensor like New, drawing the backing array
+// from the workspace arena. The caller owns the tensor's lifetime and should
+// hand the array back with Release once no reference to it remains; a pooled
+// tensor that is never released is simply collected like any other.
+func NewPooled(shape ...int) *Tensor {
+	n := checkShape(shape)
+	return &Tensor{shape: append([]int(nil), shape...), data: getBuf(n)}
+}
+
+// Release returns t's backing array to the workspace arena and clears t so
+// any later use panics instead of aliasing recycled memory. It must only be
+// called by the tensor's owner, and only when no view of the data (Reshape,
+// RowView, Data) is still live. Releasing a nil or already-released tensor is
+// a no-op, so cleanup paths need no guards.
+func (t *Tensor) Release() {
+	if t == nil || t.data == nil {
+		return
+	}
+	putBuf(t.data)
+	t.data = nil
+	t.shape = nil
+}

@@ -1,11 +1,3 @@
-// Package tensor implements a small dense float64 tensor used by every other
-// subsystem in this repository: the neural-network substrate, the gradient
-// inversion attacks, and the OASIS defense.
-//
-// Tensors are row-major and always own their backing slice unless a method is
-// explicitly documented as returning a view (only Reshape does). The package
-// is deliberately free of global state; randomized fills take an explicit
-// *rand.Rand so experiments stay deterministic.
 package tensor
 
 import (

@@ -1,0 +1,72 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// workerLimit caps how many goroutines a single kernel invocation may fan out
+// to. 0 means runtime.NumCPU(), resolved at call time.
+var workerLimit atomic.Int64
+
+// SetWorkers sets the maximum number of goroutines one kernel call may use
+// and returns the previous setting. n < 1 resets to the default
+// (runtime.NumCPU()). It is safe to call concurrently with running kernels;
+// in-flight calls keep the limit they started with.
+//
+// The setting changes wall-clock time only: every kernel computes each output
+// element with a fixed summation order on exactly one goroutine, so results
+// are bit-identical for every worker count.
+func SetWorkers(n int) int {
+	if n < 1 {
+		n = 0
+	}
+	return int(workerLimit.Swap(int64(n)))
+}
+
+// Workers returns the current worker cap (resolving the 0 default).
+func Workers() int {
+	if n := int(workerLimit.Load()); n > 0 {
+		return n
+	}
+	return runtime.NumCPU()
+}
+
+// parallelMinFlops is the work threshold (multiply-adds per call) below which
+// kernels stay serial: goroutine startup costs more than the loop for small
+// operands, and the FL round engine already runs whole clients in parallel,
+// so tiny per-client matmuls must not fan out further.
+const parallelMinFlops = 1 << 21
+
+// parallelRows partitions [0, rows) into at most Workers() contiguous spans
+// and runs body on each span, one goroutine per span. Spans are disjoint, so
+// a body that writes only its own rows races with nothing; every span sees
+// the same per-element arithmetic a serial pass would perform. Small jobs
+// (flops below parallelMinFlops) run inline on the caller's goroutine.
+func parallelRows(rows, flops int, body func(lo, hi int)) {
+	w := Workers()
+	if w > rows {
+		w = rows
+	}
+	if w <= 1 || flops < parallelMinFlops {
+		body(0, rows)
+		return
+	}
+	chunk, rem := rows/w, rows%w
+	var wg sync.WaitGroup
+	lo := 0
+	for g := 0; g < w; g++ {
+		hi := lo + chunk
+		if g < rem {
+			hi++
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+		lo = hi
+	}
+	wg.Wait()
+}
