@@ -36,6 +36,7 @@ import (
 
 	oasis "github.com/oasisfl/oasis"
 	"github.com/oasisfl/oasis/internal/imaging"
+	"github.com/oasisfl/oasis/internal/obs"
 )
 
 func main() {
@@ -60,8 +61,20 @@ func run() error {
 		outDir   = flag.String("out", "", "directory for reconstruction montages (server side)")
 		workers  = flag.Int("workers", 0, "max clients trained concurrently per round (0 = NumCPU, 1 = sequential)")
 		aggName  = flag.String("agg", "mean", "aggregation policy: mean | median | trimmed[:frac] | normclip[:max]")
+		trace    = flag.String("trace", "", "write a JSONL observability trace here (see internal/obs)")
+		httpAddr = flag.String("http", "", "serve the obs debug endpoint (metrics + pprof) on this address, e.g. :6060")
 	)
 	flag.Parse()
+
+	finish, err := obs.EnableCLI("oasis-fl", *trace, *httpAddr)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if _, terr := finish(); terr != nil {
+			fmt.Fprintln(os.Stderr, "oasis-fl:", terr)
+		}
+	}()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

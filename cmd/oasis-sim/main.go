@@ -18,6 +18,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"github.com/oasisfl/oasis/internal/obs"
 	"github.com/oasisfl/oasis/internal/sim"
 )
 
@@ -39,6 +40,8 @@ func run() error {
 		seed         = flag.Uint64("seed", 0, "override the scenario seed (0 = keep the spec's)")
 		outDir       = flag.String("out", "", "directory for report.json and report.csv")
 		quiet        = flag.Bool("q", false, "suppress per-round progress")
+		tracePath    = flag.String("trace", "", "write a JSONL observability trace here (see internal/obs)")
+		httpAddr     = flag.String("http", "", "serve the obs debug endpoint (metrics + pprof) on this address, e.g. :6060")
 	)
 	flag.Parse()
 
@@ -91,10 +94,22 @@ func run() error {
 	if !*quiet {
 		opts.Log = os.Stderr
 	}
-	report, err := sim.Run(sc, opts)
+	finish, err := obs.EnableCLI("oasis-sim", *tracePath, *httpAddr)
 	if err != nil {
 		return err
 	}
+	report, err := sim.Run(sc, opts)
+	if err != nil {
+		finish() //nolint:errcheck // the run error takes precedence
+		return err
+	}
+	// The summary lands in the report only on traced runs: untraced report
+	// JSON stays byte-identical to pre-observability builds.
+	sum, traceErr := finish()
+	if traceErr != nil {
+		return traceErr
+	}
+	report.Trace = sum
 	fmt.Print(report.String())
 
 	if *outDir != "" {

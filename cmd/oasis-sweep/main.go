@@ -34,6 +34,7 @@ import (
 	"github.com/oasisfl/oasis/internal/attack"
 	"github.com/oasisfl/oasis/internal/defense"
 	"github.com/oasisfl/oasis/internal/experiments"
+	"github.com/oasisfl/oasis/internal/obs"
 	"github.com/oasisfl/oasis/internal/sim"
 )
 
@@ -58,6 +59,8 @@ func run() error {
 		outDir       = flag.String("out", "", "directory for sweep.json and sweep.csv")
 		benchPath    = flag.String("bench", "", "benchmark mode: run the grid at -cell-workers 1 vs NumCPU and write wall-clock/cells-per-sec JSON here")
 		quiet        = flag.Bool("q", false, "suppress per-cell progress")
+		tracePath    = flag.String("trace", "", "write a JSONL observability trace here (see internal/obs)")
+		httpAddr     = flag.String("http", "", "serve the obs debug endpoint (metrics + pprof) on this address, e.g. :6060")
 	)
 	flag.Parse()
 
@@ -88,14 +91,32 @@ func run() error {
 	if !*quiet {
 		cfg.Log = os.Stderr
 	}
+	finish, err := obs.EnableCLI("oasis-sweep", *tracePath, *httpAddr)
+	if err != nil {
+		return err
+	}
 	if *benchPath != "" {
-		return runBench(cfg, *benchPath, *outDir)
+		// Bench mode byte-compares the sequential and parallel legs, so the
+		// summary is never embedded — the trace file still records both legs.
+		err := runBench(cfg, *benchPath, *outDir)
+		if _, traceErr := finish(); err == nil {
+			err = traceErr
+		}
+		return err
 	}
 	report, err := experiments.RunSweep(cfg)
 	if err != nil {
+		finish() //nolint:errcheck // the sweep error takes precedence
 		dumpPartial(report, err)
 		return err
 	}
+	// The summary lands in the report only on traced runs: untraced sweep
+	// JSON stays byte-identical to pre-observability builds.
+	sum, traceErr := finish()
+	if traceErr != nil {
+		return traceErr
+	}
+	report.Trace = sum
 	fmt.Print(report.Table().String())
 	fmt.Print(report.CellTable().String())
 	return writeArtifacts(report, *outDir)

@@ -1,0 +1,126 @@
+// Command oasis-trace renders a recorded observability stream (the JSONL file
+// an oasis CLI writes under -trace) as human-readable tables: the per-phase
+// duration rollup, the final counters/gauges, and the histogram means. It
+// also validates the stream's structural invariants, so CI can use it as a
+// trace smoke check:
+//
+//	oasis-sweep -quick -trace sweep-trace.jsonl
+//	oasis-trace sweep-trace.jsonl
+//	oasis-trace -csv sweep-trace.jsonl > phases.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"github.com/oasisfl/oasis/internal/metrics"
+	"github.com/oasisfl/oasis/internal/obs"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "oasis-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	csv := flag.Bool("csv", false, "emit the phase table as CSV instead of the full report")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		return fmt.Errorf("usage: oasis-trace [-csv] trace.jsonl")
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	events, err := obs.ReadTrace(f)
+	if err != nil {
+		return err
+	}
+	roots, err := obs.SpanTreeValid(events)
+	if err != nil {
+		return fmt.Errorf("%s: %w", flag.Arg(0), err)
+	}
+	sum := obs.SummarizeSpans(events)
+	if *csv {
+		fmt.Print(phaseTable(sum).CSV())
+		return nil
+	}
+	spans := 0
+	for _, ev := range events {
+		if ev.Type == "span" {
+			spans++
+		}
+	}
+	fmt.Printf("trace %s: program %s, %d events, %d spans (%d roots)\n",
+		flag.Arg(0), orUnknown(sum.Program), len(events), spans, roots)
+	fmt.Print(phaseTable(sum).String())
+	if len(sum.Counters) > 0 || len(sum.Gauges) > 0 {
+		fmt.Print(valueTable(sum).String())
+	}
+	if len(sum.Histograms) > 0 {
+		fmt.Print(histTable(sum).String())
+	}
+	return nil
+}
+
+// phaseTable is the per-phase duration rollup, slowest total first.
+func phaseTable(sum *obs.TraceSummary) *metrics.Table {
+	t := metrics.NewTable("Phases (span durations)",
+		"phase", "count", "total ms", "mean ms", "max ms")
+	phases := append([]obs.PhaseSummary(nil), sum.Phases...)
+	sort.Slice(phases, func(i, j int) bool { return phases[i].TotalMS > phases[j].TotalMS })
+	for _, p := range phases {
+		t.AddRow(p.Name,
+			fmt.Sprintf("%d", p.Count),
+			fmt.Sprintf("%.3f", p.TotalMS),
+			fmt.Sprintf("%.3f", p.MeanMS),
+			fmt.Sprintf("%.3f", p.MaxMS))
+	}
+	return t
+}
+
+// valueTable lists the final counter and gauge values, name-sorted.
+func valueTable(sum *obs.TraceSummary) *metrics.Table {
+	t := metrics.NewTable("Counters and gauges (final)", "metric", "value")
+	for _, name := range sortedKeys(sum.Counters) {
+		t.AddRow(name, fmt.Sprintf("%d", sum.Counters[name]))
+	}
+	for _, name := range sortedKeys(sum.Gauges) {
+		t.AddRow(name, fmt.Sprintf("%g", sum.Gauges[name]))
+	}
+	return t
+}
+
+// histTable summarizes each histogram's count/mean/sum.
+func histTable(sum *obs.TraceSummary) *metrics.Table {
+	t := metrics.NewTable("Histograms (final)", "metric", "count", "mean", "sum")
+	for _, name := range sortedKeys(sum.Histograms) {
+		h := sum.Histograms[name]
+		t.AddRow(name,
+			fmt.Sprintf("%d", h.Count),
+			fmt.Sprintf("%.3f", h.Mean),
+			fmt.Sprintf("%.3f", h.Sum))
+	}
+	return t
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func orUnknown(s string) string {
+	if s == "" {
+		return "(unknown)"
+	}
+	return s
+}

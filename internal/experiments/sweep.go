@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -14,6 +15,7 @@ import (
 	"github.com/oasisfl/oasis/internal/defense"
 	"github.com/oasisfl/oasis/internal/metrics"
 	"github.com/oasisfl/oasis/internal/nn"
+	"github.com/oasisfl/oasis/internal/obs"
 	"github.com/oasisfl/oasis/internal/sim"
 )
 
@@ -90,6 +92,11 @@ type SweepReport struct {
 	Attacks    []string    `json:"attacks"`
 	Defenses   []string    `json:"defenses"`
 	Cells      []SweepCell `json:"cells"`
+
+	// Trace is the sweep's observability summary. RunSweep never sets it —
+	// only CLIs do, and only when tracing was requested — so sweep JSON is
+	// byte-identical to older builds whenever observability is off.
+	Trace *obs.TraceSummary `json:"trace,omitempty"`
 }
 
 // JSON renders the report as indented JSON.
@@ -218,6 +225,9 @@ func RunSweep(cfg SweepConfig) (*SweepReport, error) {
 	if base.Clients == 0 {
 		base = DefaultSweepScenario()
 	}
+	ctx, runSpan := obs.Start(context.Background(), "sweep.run",
+		obs.String("scenario", base.Name), obs.Uint64("seed", base.Seed))
+	defer runSpan.End()
 	attacks := cfg.Attacks
 	if len(attacks) == 0 {
 		attacks = attack.Names()
@@ -281,17 +291,33 @@ func RunSweep(cfg SweepConfig) (*SweepReport, error) {
 		workers = runtime.NumCPU()
 	}
 	workers = min(workers, nCells*replicates)
+	obsCellWorkers.Set(float64(workers))
 	jobs := make(chan job)
 	var wg sync.WaitGroup
 	var logMu sync.Mutex
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
-			for j := range jobs {
+			for {
+				// The lease span measures how long this worker sat idle
+				// waiting for the feeder — grid-level pool utilization.
+				_, lease := obs.Start(ctx, "sweep.lease", obs.Int("worker", worker))
+				j, ok := <-jobs
+				lease.End()
+				if !ok {
+					return
+				}
 				atk, def, sc := cellScenario(j.cell, j.rep)
-				rep, err := sim.Run(sc, sim.Options{Quick: cfg.Quick, Workers: cfg.Workers})
+				jctx, cell := obs.Start(ctx, "sweep.cell",
+					obs.String("attack", atk), obs.String("defense", def),
+					obs.Int("replicate", j.rep), obs.Uint64("seed", sc.Seed))
+				obsSweepJobs.Inc()
+				rep, err := sim.RunContext(jctx, sc, sim.Options{Quick: cfg.Quick, Workers: cfg.Workers})
+				cell.SetAttr(obs.Bool("ok", err == nil))
+				cell.End()
 				if err != nil {
+					obsSweepJobFailures.Inc()
 					errs[j.cell][j.rep] = err
 					continue
 				}
@@ -303,7 +329,7 @@ func RunSweep(cfg SweepConfig) (*SweepReport, error) {
 					logMu.Unlock()
 				}
 			}
-		}()
+		}(w)
 	}
 	for c := 0; c < nCells; c++ {
 		for r := 0; r < replicates; r++ {
@@ -317,6 +343,8 @@ func RunSweep(cfg SweepConfig) (*SweepReport, error) {
 	// own seeded runs, so the report is independent of scheduling. A failed
 	// cell is skipped (keeping completed cells dumpable) and the first
 	// failure in grid order becomes the returned error.
+	_, mergeSpan := obs.Start(ctx, "sweep.merge", obs.Int("cells", nCells))
+	defer mergeSpan.End()
 	var firstErr error
 	for c := 0; c < nCells; c++ {
 		atk, def := attacks[c/len(defenses)], defenses[c%len(defenses)]

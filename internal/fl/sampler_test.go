@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"reflect"
+	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -199,5 +201,61 @@ func TestAfterRoundHook(t *testing.T) {
 	}
 	if !reflect.DeepEqual(rounds, []int{0, 1, 2}) {
 		t.Errorf("hook fired for rounds %v, want [0 1 2]", rounds)
+	}
+}
+
+// TestAfterRoundHookSerialized pins the documented contract beyond ordering:
+// the hook runs strictly serialized (never two invocations in flight) with
+// no round dispatched underneath it, even when the round engine itself uses
+// a worker pool. The rounds slice needs no lock precisely because of that
+// contract — the race detector would flag any violation.
+func TestAfterRoundHookSerialized(t *testing.T) {
+	roster := buildRoster(t, 6)
+	server := NewServer(ServerConfig{
+		Rounds: 4, ClientsPerRound: 4, LearningRate: 0.05, Seed: 17, Workers: 4,
+	}, testModel(nil), roster)
+	var inFlight atomic.Int32
+	var rounds []int
+	server.AfterRound = func(round int, stats RoundStats) {
+		if n := inFlight.Add(1); n != 1 {
+			t.Errorf("AfterRound invoked concurrently (%d in flight)", n)
+		}
+		defer inFlight.Add(-1)
+		time.Sleep(2 * time.Millisecond) // widen any overlap window
+		rounds = append(rounds, round)
+	}
+	if _, err := server.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rounds, []int{0, 1, 2, 3}) {
+		t.Errorf("hook fired for rounds %v, want [0 1 2 3]", rounds)
+	}
+}
+
+// TestAfterRoundPanicSurfacesAsError pins the recover-wrap: a panicking hook
+// must fail the run with an error naming the round — not hang the worker
+// barrier or crash the process — and the rounds completed before the panic
+// stay in the returned History.
+func TestAfterRoundPanicSurfacesAsError(t *testing.T) {
+	roster := buildRoster(t, 4)
+	server := NewServer(ServerConfig{
+		Rounds: 3, LearningRate: 0.05, Seed: 23, Workers: 2,
+	}, testModel(nil), roster)
+	server.AfterRound = func(round int, stats RoundStats) {
+		if round == 1 {
+			panic("hook exploded")
+		}
+	}
+	hist, err := server.Run(context.Background())
+	if err == nil {
+		t.Fatal("expected the hook panic to surface as a run error")
+	}
+	for _, want := range []string{"AfterRound hook panicked", "round 1", "hook exploded"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+	if len(hist.Rounds) != 2 {
+		t.Errorf("History has %d rounds, want 2 (rounds 0 and 1 ran before the abort)", len(hist.Rounds))
 	}
 }

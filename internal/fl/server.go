@@ -2,6 +2,7 @@ package fl
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	rand "math/rand/v2"
@@ -10,6 +11,7 @@ import (
 	"time"
 
 	"github.com/oasisfl/oasis/internal/nn"
+	"github.com/oasisfl/oasis/internal/obs"
 	"github.com/oasisfl/oasis/internal/tensor"
 )
 
@@ -120,7 +122,9 @@ type Server struct {
 	// AfterRound, when set, is invoked on the server goroutine after each
 	// round's step has been applied — a hook for per-round evaluation,
 	// logging, or checkpointing. It sees the final RoundStats and may read
-	// the Model (no round is in flight while it runs).
+	// the Model (no round is in flight while it runs). A panicking hook is
+	// recovered and surfaced as the run's error (the completed rounds stay
+	// in the returned History) rather than tearing the server down.
 	AfterRound func(round int, stats RoundStats)
 	// Aggregator folds client updates into the applied gradient; nil means
 	// FedAvgMean (the paper's Eq. 1). The server owns its lifecycle: Reset
@@ -159,10 +163,27 @@ func (s *Server) Run(ctx context.Context) (History, error) {
 		}
 		hist.Rounds = append(hist.Rounds, stats)
 		if s.AfterRound != nil {
-			s.AfterRound(round, stats)
+			if err := s.fireAfterRound(ctx, round, stats); err != nil {
+				return hist, err
+			}
 		}
 	}
 	return hist, nil
+}
+
+// fireAfterRound invokes the AfterRound hook on the calling (server)
+// goroutine, converting a hook panic into an error so a broken evaluation
+// callback fails the run visibly instead of crashing or wedging the caller.
+func (s *Server) fireAfterRound(ctx context.Context, round int, stats RoundStats) (err error) {
+	_, sp := obs.Start(ctx, "fl.after_round", obs.Int("round", round))
+	defer sp.End()
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("fl: round %d: AfterRound hook panicked: %v", round, r)
+		}
+	}()
+	s.AfterRound(round, stats)
+	return nil
 }
 
 // roundResult pairs one selected client's outcome with nothing else; the
@@ -173,6 +194,9 @@ type roundResult struct {
 }
 
 func (s *Server) runRound(ctx context.Context, round int) (RoundStats, error) {
+	ctx, sp := obs.Start(ctx, "fl.round", obs.Int("round", round))
+	defer sp.End()
+	obsRounds.Inc()
 	clients := s.Roster.Clients()
 	if len(clients) == 0 {
 		return RoundStats{}, fmt.Errorf("fl: round %d: no clients connected", round)
@@ -224,6 +248,10 @@ func (s *Server) runRound(ctx context.Context, round int) (RoundStats, error) {
 	merge := func(i int, res roundResult) bool {
 		c := selected[i]
 		if res.err != nil {
+			obsClientFailed.Inc()
+			if errors.Is(res.err, context.DeadlineExceeded) {
+				obsClientDeadline.Inc()
+			}
 			if !s.Config.TolerateFailures {
 				mergeErr = fmt.Errorf("fl: round %d client %s: %w", round, c.ID(), res.err)
 				return false
@@ -235,6 +263,7 @@ func (s *Server) runRound(ctx context.Context, round int) (RoundStats, error) {
 			return true
 		}
 		update := res.update
+		obsClientOK.Inc()
 		if s.Observer != nil {
 			s.Observer.Observe(round, update)
 		}
@@ -255,16 +284,20 @@ func (s *Server) runRound(ctx context.Context, round int) (RoundStats, error) {
 		return RoundStats{}, mergeErr
 	}
 	ok := len(stats.Clients)
+	sp.SetAttr(obs.Int("ok", ok), obs.Int("failed", len(stats.Failed)))
 	if ok == 0 {
 		if s.Config.AllowEmptyRounds {
 			// Degrade instead of aborting: record the wiped-out round (the
 			// model is untouched) and let the run continue.
+			obsEmptyRounds.Inc()
 			return stats, nil
 		}
 		return RoundStats{}, fmt.Errorf("fl: round %d: every selected client failed: %w", round, firstErr)
 	}
 	stats.MeanLoss = lossSum / float64(ok)
 
+	_, asp := obs.Start(ctx, "fl.aggregate", obs.Int("updates", ok))
+	defer asp.End()
 	aggregated, err := agg.Finalize()
 	if err != nil {
 		return RoundStats{}, fmt.Errorf("fl: round %d: %w", round, err)
@@ -317,9 +350,10 @@ func (s *Server) dispatch(ctx context.Context, round int, selected []Client, spe
 	if workers > len(selected) {
 		workers = len(selected)
 	}
+	obsRoundWorkers.Set(float64(workers))
 	if workers <= 1 {
 		for i, c := range selected {
-			u, err := c.HandleRound(ctx, RoundRequest{Round: round, Model: spec})
+			u, err := s.handleClient(ctx, round, c, spec)
 			if !merge(i, roundResult{update: u, err: err}) {
 				return
 			}
@@ -348,7 +382,7 @@ func (s *Server) dispatch(ctx context.Context, round int, selected []Client, spe
 					done <- indexedResult{i: i, res: roundResult{err: err}}
 					continue
 				}
-				u, err := selected[i].HandleRound(roundCtx, RoundRequest{Round: round, Model: spec})
+				u, err := s.handleClient(roundCtx, round, selected[i], spec)
 				done <- indexedResult{i: i, res: roundResult{update: u, err: err}}
 			}
 		}()
@@ -373,6 +407,23 @@ func (s *Server) dispatch(ctx context.Context, round int, selected []Client, spe
 		}
 	}
 	wg.Wait()
+}
+
+// handleClient runs one selected client's round, wrapped in a span and a
+// duration observation when observability is enabled (plain delegation — no
+// timestamps, no allocation — when it is not). The span parents under the
+// round span carried by ctx, so worker utilization is readable per round.
+func (s *Server) handleClient(ctx context.Context, round int, c Client, spec ModelSpec) (Update, error) {
+	if !obs.Enabled() {
+		return c.HandleRound(ctx, RoundRequest{Round: round, Model: spec})
+	}
+	_, sp := obs.Start(ctx, "fl.client", obs.String("client", c.ID()))
+	t0 := time.Now()
+	u, err := c.HandleRound(ctx, RoundRequest{Round: round, Model: spec})
+	obsClientMS.Observe(float64(time.Since(t0)) / float64(time.Millisecond))
+	sp.SetAttr(obs.Bool("ok", err == nil))
+	sp.End()
+	return u, err
 }
 
 // gradsMatchParams reports whether every aggregated tensor matches the

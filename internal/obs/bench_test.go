@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"context"
+	"testing"
+)
+
+// The disabled path is the one that matters: instrumentation lives
+// permanently inside the round engine and the tensor dispatch layer, so its
+// cost with no session enabled must stay at one atomic load (single-digit
+// nanoseconds). BENCH_obs.json commits the measured end-to-end consequence
+// (instrumented vs pre-instrumentation round wall-clock); these benchmarks
+// pin the per-operation costs the model rests on.
+
+func BenchmarkDisabledStartEnd(b *testing.B) {
+	if Enabled() {
+		b.Fatal("session must be disabled")
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, sp := Start(ctx, "bench")
+		sp.End()
+	}
+}
+
+func BenchmarkDisabledCounterAdd(b *testing.B) {
+	if Enabled() {
+		b.Fatal("session must be disabled")
+	}
+	c := NewCounter("bench_disabled_counter", "")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkDisabledHistogramObserve(b *testing.B) {
+	if Enabled() {
+		b.Fatal("session must be disabled")
+	}
+	h := NewHistogram("bench_disabled_hist", "", DefDurationBucketsMS)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(1.5)
+	}
+}
+
+func BenchmarkEnabledStartEnd(b *testing.B) {
+	if _, err := Enable(Config{}); err != nil {
+		b.Fatal(err)
+	}
+	defer Disable() //nolint:errcheck
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, sp := Start(ctx, "bench")
+		sp.End()
+	}
+}
+
+func BenchmarkEnabledCounterAdd(b *testing.B) {
+	if _, err := Enable(Config{}); err != nil {
+		b.Fatal(err)
+	}
+	defer Disable() //nolint:errcheck
+	c := NewCounter("bench_enabled_counter", "")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}

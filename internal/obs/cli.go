@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+)
+
+// EnableCLI wires the standard CLI observability surface behind the -trace
+// and -http flags: when either is set it enables a session (writing the JSONL
+// stream to tracePath if given, serving the debug endpoint on httpAddr if
+// given) and returns a finish func that disables the session, flushes and
+// closes the trace file, and hands back the summary. With both flags empty it
+// enables nothing and finish returns (nil, nil), so callers need no branches.
+//
+// The bound debug address (":0" picks a free port) is printed to stderr so
+// scripted callers can discover it.
+func EnableCLI(program, tracePath, httpAddr string) (finish func() (*TraceSummary, error), err error) {
+	if tracePath == "" && httpAddr == "" {
+		return func() (*TraceSummary, error) { return nil, nil }, nil
+	}
+	var f *os.File
+	var bw *bufio.Writer
+	cfg := Config{Program: program}
+	if tracePath != "" {
+		f, err = os.Create(tracePath)
+		if err != nil {
+			return nil, fmt.Errorf("obs: create trace file: %w", err)
+		}
+		bw = bufio.NewWriterSize(f, 1<<16)
+		cfg.Trace = bw
+	}
+	if _, err := Enable(cfg); err != nil {
+		if f != nil {
+			f.Close()
+		}
+		return nil, err
+	}
+	if httpAddr != "" {
+		addr, err := ServeDebug(httpAddr)
+		if err != nil {
+			Disable()
+			if f != nil {
+				f.Close()
+			}
+			return nil, fmt.Errorf("obs: debug endpoint: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "%s: obs debug endpoint on http://%s/debug/metrics\n", program, addr)
+	}
+	return func() (*TraceSummary, error) {
+		sum, werr := Disable()
+		if bw != nil {
+			if err := bw.Flush(); werr == nil {
+				werr = err
+			}
+		}
+		if f != nil {
+			if err := f.Close(); werr == nil {
+				werr = err
+			}
+		}
+		if werr != nil {
+			werr = fmt.Errorf("obs: trace %s: %w", tracePath, werr)
+		}
+		return sum, werr
+	}, nil
+}

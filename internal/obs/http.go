@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// ServeDebug starts the debug endpoint on addr (":0" picks a free port) and
+// returns the bound address. The mux serves:
+//
+//	/debug/metrics  — the current MetricsSnapshot as JSON
+//	/debug/summary  — the live TraceSummary (404 while disabled)
+//	/debug/pprof/…  — the standard runtime profilers (CPU, heap, block, …)
+//
+// The server runs on its own mux (nothing leaks onto http.DefaultServeMux)
+// in a background goroutine for the life of the process; it exists to
+// observe long runs, so there is no shutdown plumbing.
+func ServeDebug(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: DebugHandler(), ReadHeaderTimeout: 10 * time.Second}
+	go srv.Serve(ln) //nolint:errcheck // endpoint dies with the process
+	return ln.Addr(), nil
+}
+
+// DebugHandler returns the debug mux (exposed separately so tests and
+// embedding servers can mount it without opening a listener).
+func DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, Snapshot())
+	})
+	mux.HandleFunc("/debug/summary", func(w http.ResponseWriter, r *http.Request) {
+		sum := Summary()
+		if sum == nil {
+			http.Error(w, "obs: no session enabled", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, sum)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // best-effort debug output
+}

@@ -1,0 +1,205 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// The wire types of the JSONL stream, and the offline reader that turns a
+// recorded stream back into the summary a live session would have produced.
+// The same schema is what a future distributed-sweep coordinator streams
+// between processes, so it changes only with a Schema bump.
+
+// metaEvent opens every stream.
+type metaEvent struct {
+	Type    string `json:"t"`
+	Schema  int    `json:"schema"`
+	Program string `json:"program,omitempty"`
+	GOOS    string `json:"goos"`
+	GOARCH  string `json:"goarch"`
+	CPUs    int    `json:"cpus"`
+	Start   string `json:"start"`
+}
+
+// spanEvent records one closed span.
+type spanEvent struct {
+	Type    string         `json:"t"`
+	ID      uint64         `json:"id"`
+	Parent  uint64         `json:"parent,omitempty"`
+	Name    string         `json:"name"`
+	StartUS int64          `json:"start_us"`
+	DurUS   int64          `json:"dur_us"`
+	Attrs   map[string]any `json:"attrs,omitempty"`
+}
+
+// metricsEvent carries a metric snapshot; the stream's last event is the
+// final snapshot written by Disable.
+type metricsEvent struct {
+	Type       string                       `json:"t"`
+	Final      bool                         `json:"final,omitempty"`
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Event is one decoded trace line; Type discriminates which fields are
+// meaningful ("meta", "span", "metrics").
+type Event struct {
+	Type    string `json:"t"`
+	Schema  int    `json:"schema,omitempty"`
+	Program string `json:"program,omitempty"`
+	CPUs    int    `json:"cpus,omitempty"`
+
+	ID      uint64         `json:"id,omitempty"`
+	Parent  uint64         `json:"parent,omitempty"`
+	Name    string         `json:"name,omitempty"`
+	StartUS int64          `json:"start_us,omitempty"`
+	DurUS   int64          `json:"dur_us,omitempty"`
+	Attrs   map[string]any `json:"attrs,omitempty"`
+
+	Final      bool                         `json:"final,omitempty"`
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// ReadTrace decodes a JSONL stream. It validates the schema of the leading
+// meta event (when present) and fails on the first malformed line, reporting
+// its 1-based line number.
+func ReadTrace(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var events []Event
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(raw, &ev); err != nil {
+			return nil, fmt.Errorf("obs: trace line %d: %w", line, err)
+		}
+		if ev.Type == "meta" && ev.Schema != Schema {
+			return nil, fmt.Errorf("obs: trace line %d: schema %d, want %d", line, ev.Schema, Schema)
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: reading trace: %w", err)
+	}
+	return events, nil
+}
+
+// PhaseSummary aggregates every span sharing one name.
+type PhaseSummary struct {
+	Name    string  `json:"name"`
+	Count   int64   `json:"count"`
+	TotalMS float64 `json:"total_ms"`
+	MeanMS  float64 `json:"mean_ms"`
+	MaxMS   float64 `json:"max_ms"`
+}
+
+// TraceSummary is the per-phase duration rollup plus the final metric
+// values — what Report/SweepReport embed when tracing is enabled.
+type TraceSummary struct {
+	Program    string                       `json:"program,omitempty"`
+	Phases     []PhaseSummary               `json:"phases,omitempty"`
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// SummarizeSpans rebuilds a TraceSummary from decoded events: span phases
+// are re-aggregated and the last metrics event (the final snapshot) supplies
+// the metric values.
+func SummarizeSpans(events []Event) *TraceSummary {
+	type agg struct {
+		count int64
+		total time.Duration
+		max   time.Duration
+	}
+	phases := make(map[string]*agg)
+	sum := &TraceSummary{}
+	for _, ev := range events {
+		switch ev.Type {
+		case "meta":
+			sum.Program = ev.Program
+		case "span":
+			p := phases[ev.Name]
+			if p == nil {
+				p = &agg{}
+				phases[ev.Name] = p
+			}
+			d := time.Duration(ev.DurUS) * time.Microsecond
+			p.count++
+			p.total += d
+			if d > p.max {
+				p.max = d
+			}
+		case "metrics":
+			sum.Counters = ev.Counters
+			sum.Gauges = ev.Gauges
+			sum.Histograms = ev.Histograms
+		}
+	}
+	names := make([]string, 0, len(phases))
+	for name := range phases {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		p := phases[name]
+		sum.Phases = append(sum.Phases, PhaseSummary{
+			Name:    name,
+			Count:   p.count,
+			TotalMS: durMS(p.total),
+			MeanMS:  durMS(p.total / time.Duration(p.count)),
+			MaxMS:   durMS(p.max),
+		})
+	}
+	return sum
+}
+
+// SpanTreeValid checks the structural invariants a well-formed stream
+// satisfies — every span's parent was allocated before it and IDs are unique
+// — and returns the root count. Tests and oasis-trace use it to validate
+// recorded streams.
+func SpanTreeValid(events []Event) (roots int, err error) {
+	seen := make(map[uint64]bool)
+	maxID := uint64(0)
+	for _, ev := range events {
+		if ev.Type != "span" {
+			continue
+		}
+		if ev.ID == 0 {
+			return 0, fmt.Errorf("obs: span %q has id 0", ev.Name)
+		}
+		if seen[ev.ID] {
+			return 0, fmt.Errorf("obs: duplicate span id %d (%q)", ev.ID, ev.Name)
+		}
+		seen[ev.ID] = true
+		if ev.ID > maxID {
+			maxID = ev.ID
+		}
+		if ev.Parent == 0 {
+			roots++
+		}
+	}
+	for _, ev := range events {
+		if ev.Type != "span" || ev.Parent == 0 {
+			continue
+		}
+		// Parents end after their children, so the parent's own span event
+		// may appear later in the stream; it must at least be an allocated ID.
+		if ev.Parent > maxID {
+			return 0, fmt.Errorf("obs: span %d (%q) references unallocated parent %d", ev.ID, ev.Name, ev.Parent)
+		}
+	}
+	return roots, nil
+}

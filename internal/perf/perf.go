@@ -65,14 +65,21 @@ type Entry struct {
 
 // Report is one committed benchmark file.
 type Report struct {
-	Schema  int     `json:"schema"`
-	Kind    string  `json:"kind"` // "tensor" or "round"
-	GOOS    string  `json:"goos"`
-	GOARCH  string  `json:"goarch"`
-	CPUs    int     `json:"cpus"`
-	Repeats int     `json:"repeats"`
-	CalibMS float64 `json:"calib_ms"`
-	Entries []Entry `json:"entries"`
+	Schema int    `json:"schema"`
+	Kind   string `json:"kind"` // "tensor" or "round"
+	GOOS   string `json:"goos"`
+	GOARCH string `json:"goarch"`
+	CPUs   int    `json:"cpus"`
+	// SingleCPU records that the measuring machine had fewer than two cores.
+	// Such runs are not authoritative: the lone core time-slices the measured
+	// workload against GC and OS background work, and the "parallel" legs are
+	// pure scheduling overhead (a committed 1-CPU baseline showed parallel_ms
+	// above serial_ms). Every entry of a single-CPU report is marked
+	// informational, and the gate never fails against or from one.
+	SingleCPU bool    `json:"single_cpu,omitempty"`
+	Repeats   int     `json:"repeats"`
+	CalibMS   float64 `json:"calib_ms"`
+	Entries   []Entry `json:"entries"`
 }
 
 // sink defeats dead-code elimination across all workloads.
@@ -222,7 +229,7 @@ func TensorSuite(repeats int) *Report {
 			SerialMS:      round3(serial),
 			Ratio:         round3(serial / rep.CalibMS),
 			ParallelMS:    round3(par),
-			Informational: kc.info,
+			Informational: kc.info || rep.SingleCPU,
 		}
 		if kc.flops > 0 {
 			e.GFLOPS = round3(kc.flops / (serial * 1e6))
@@ -272,23 +279,25 @@ func RoundSuite(repeats int) (*Report, error) {
 		return nil, runErr
 	}
 	rep.Entries = append(rep.Entries, Entry{
-		Name:       "round/cross-device-1k/quick",
-		SerialMS:   round3(serial),
-		Ratio:      round3(serial / rep.CalibMS),
-		ParallelMS: round3(par),
+		Name:          "round/cross-device-1k/quick",
+		SerialMS:      round3(serial),
+		Ratio:         round3(serial / rep.CalibMS),
+		ParallelMS:    round3(par),
+		Informational: rep.SingleCPU,
 	})
 	return rep, nil
 }
 
 func newReport(kind string, repeats int) *Report {
 	return &Report{
-		Schema:  Schema,
-		Kind:    kind,
-		GOOS:    runtime.GOOS,
-		GOARCH:  runtime.GOARCH,
-		CPUs:    runtime.NumCPU(),
-		Repeats: repeats,
-		CalibMS: round3(Calibrate()),
+		Schema:    Schema,
+		Kind:      kind,
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		SingleCPU: runtime.NumCPU() < 2,
+		Repeats:   repeats,
+		CalibMS:   round3(Calibrate()),
 	}
 }
 
@@ -350,11 +359,18 @@ func (g GateResult) String() string {
 // up as negative deltas in the trajectory so improvements get recorded in the
 // next baseline refresh. Returns per-entry results and an error if any entry
 // failed or disappeared.
+//
+// Single-CPU reports are never authoritative on either side of the
+// comparison: when the baseline or the fresh report was measured with fewer
+// than two cores, every entry is trajectory information only. (Entry-level
+// Informational flags carry the same meaning for older baselines that predate
+// the report-level field.)
 func Gate(baseline, fresh *Report, tol float64) ([]GateResult, error) {
 	freshBy := map[string]Entry{}
 	for _, e := range fresh.Entries {
 		freshBy[e.Name] = e
 	}
+	infoOnly := baseline.SingleCPU || fresh.SingleCPU
 	var results []GateResult
 	var failed []string
 	for _, base := range baseline.Entries {
@@ -369,7 +385,7 @@ func Gate(baseline, fresh *Report, tol float64) ([]GateResult, error) {
 			Baseline: base.Ratio,
 			Fresh:    f.Ratio,
 			Delta:    f.Ratio/base.Ratio - 1,
-			Info:     base.Informational,
+			Info:     base.Informational || f.Informational || infoOnly,
 		}
 		g.Failed = !g.Info && g.Delta > tol
 		if g.Failed {

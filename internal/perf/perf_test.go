@@ -2,6 +2,7 @@ package perf
 
 import (
 	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
 )
@@ -70,6 +71,48 @@ func TestGateSkipsInformationalEntries(t *testing.T) {
 	}
 	if !results[1].Info || results[1].Failed {
 		t.Fatalf("informational entry mishandled: %+v", results[1])
+	}
+}
+
+// TestGateTreatsSingleCPUAsInformational pins the cpus:1 rule from either
+// direction: a report measured on a single-core machine (baseline or fresh)
+// turns every comparison into trajectory information, so a meaningless
+// time-sliced ratio can never fail the gate — but a genuinely missing entry
+// still does.
+func TestGateTreatsSingleCPUAsInformational(t *testing.T) {
+	multi := &Report{CPUs: 4, Entries: []Entry{{Name: "a", Ratio: 10}}}
+	single := &Report{CPUs: 1, SingleCPU: true, Entries: []Entry{
+		{Name: "a", Ratio: 20, Informational: true}, // 2x "regression"
+	}}
+	for _, tc := range []struct {
+		name        string
+		base, fresh *Report
+	}{
+		{"single-cpu fresh", multi, single},
+		{"single-cpu baseline", single, multi},
+	} {
+		results, err := Gate(tc.base, tc.fresh, 0.15)
+		if err != nil {
+			t.Fatalf("%s: gate failed on a non-authoritative report: %v", tc.name, err)
+		}
+		if !results[0].Info || results[0].Failed {
+			t.Fatalf("%s: entry not downgraded to informational: %+v", tc.name, results[0])
+		}
+	}
+	missing := &Report{CPUs: 4, Entries: []Entry{{Name: "other", Ratio: 1}}}
+	if _, err := Gate(single, missing, 0.15); err == nil {
+		t.Fatal("missing entry passed the gate because the baseline was single-CPU")
+	}
+}
+
+// TestSuitesRecordSingleCPU checks the suites stamp the flag consistently
+// with the machine they ran on (true on 1-core boxes, false otherwise), and
+// that the entries inherit it as Informational.
+func TestSuitesRecordSingleCPU(t *testing.T) {
+	rep := newReport("tensor", 1)
+	want := runtime.NumCPU() < 2
+	if rep.SingleCPU != want {
+		t.Fatalf("SingleCPU = %v on a %d-CPU machine", rep.SingleCPU, runtime.NumCPU())
 	}
 }
 

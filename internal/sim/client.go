@@ -10,6 +10,7 @@ import (
 	"github.com/oasisfl/oasis/internal/data"
 	"github.com/oasisfl/oasis/internal/fl"
 	"github.com/oasisfl/oasis/internal/imaging"
+	"github.com/oasisfl/oasis/internal/obs"
 )
 
 // Failure classes a simulated client reports to the server. The engine also
@@ -75,10 +76,17 @@ func (c *simClient) HandleRound(ctx context.Context, req fl.RoundRequest) (fl.Up
 	out := c.draw(req.Round)
 	c.outcomes[req.Round] = out
 	if out.dropped {
+		obsDropouts.Inc()
 		return fl.Update{}, fmt.Errorf("%w (client %s, round %d)", ErrDropout, c.ID(), req.Round)
+	}
+	if out.delayMS > 0 {
+		// Virtual-clock value: deterministic by construction, so recording it
+		// cannot perturb the run it describes.
+		obsStragglerWait.Observe(out.delayMS)
 	}
 	if c.deadlineMS > 0 && out.delayMS > c.deadlineMS {
 		out.late = true
+		obsLate.Inc()
 		return fl.Update{}, fmt.Errorf("%w (client %s, round %d: %.0f ms > %.0f ms)",
 			ErrDeadline, c.ID(), req.Round, out.delayMS, c.deadlineMS)
 	}
@@ -155,10 +163,17 @@ func (r *batchRecorder) Apply(b *data.Batch) (*data.Batch, error) {
 	if r.armed && r.batch == nil {
 		r.batch = b.Clone()
 	}
-	if r.inner != nil {
+	if r.inner == nil {
+		return b, nil
+	}
+	if !obs.Enabled() {
 		return r.inner.Apply(b)
 	}
-	return b, nil
+	obsDefenseApply.Inc()
+	start := time.Now()
+	out, err := r.inner.Apply(b)
+	obsDefenseApplyMS.Observe(float64(time.Since(start).Microseconds()) / 1000)
+	return out, err
 }
 
 // arm resets the recorder for a new round.

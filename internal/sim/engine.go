@@ -15,6 +15,7 @@ import (
 	"github.com/oasisfl/oasis/internal/imaging"
 	"github.com/oasisfl/oasis/internal/metrics"
 	"github.com/oasisfl/oasis/internal/nn"
+	"github.com/oasisfl/oasis/internal/obs"
 	"github.com/oasisfl/oasis/internal/tensor"
 )
 
@@ -58,6 +59,13 @@ func (o Options) logf(format string, args ...any) {
 // is drawn from seeded streams keyed by stable identities and all timing is
 // virtual.
 func Run(sc Scenario, opts Options) (*Report, error) {
+	return RunContext(context.Background(), sc, opts)
+}
+
+// RunContext is Run under a caller context. The context's cancellation
+// reaches the round engine, and any obs span it carries (e.g. a sweep cell)
+// parents the run's span tree — the report content is identical either way.
+func RunContext(ctx context.Context, sc Scenario, opts Options) (*Report, error) {
 	sc, err := sc.Normalize()
 	if err != nil {
 		return nil, err
@@ -74,10 +82,19 @@ func Run(sc Scenario, opts Options) (*Report, error) {
 			return nil, fmt.Errorf("sim: quick mode (≤%d rounds): %w", quickMaxRounds, err)
 		}
 	}
-	return run(sc, opts)
+	return run(ctx, sc, opts)
 }
 
-func run(sc Scenario, opts Options) (*Report, error) {
+func run(ctx context.Context, sc Scenario, opts Options) (*Report, error) {
+	ctx, runSpan := obs.Start(ctx, "sim.run",
+		obs.String("scenario", sc.Name), obs.Uint64("seed", sc.Seed), obs.Int("clients", sc.Clients))
+	defer runSpan.End()
+
+	// Materialization covers everything before the first round: datasets,
+	// partition, population, and the global model. The span closes early on
+	// success and the deferred End is then a no-op (End is nil-safe).
+	_, matSpan := obs.Start(ctx, "sim.materialize", obs.Int("clients", sc.Clients))
+	defer func() { matSpan.End() }()
 	d := sc.Dataset
 	trainDS := data.NewSynthCustom(sc.Name+"-train", d.Classes, d.Channels, d.Height, d.Width, d.Samples, sc.Seed)
 	testDS := data.NewSynthCustom(sc.Name+"-test", d.Classes, d.Channels, d.Height, d.Width, sc.TestSamples, sc.Seed^0x7e57)
@@ -147,6 +164,8 @@ func run(sc Scenario, opts Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	matSpan.End()
+	matSpan = nil
 
 	cfg := fl.ServerConfig{
 		Rounds:           sc.Rounds,
@@ -174,7 +193,9 @@ func run(sc Scenario, opts Options) (*Report, error) {
 
 	var sched *scheduledAttack
 	if sc.Attack.Kind != "" {
+		_, calSpan := obs.Start(ctx, "sim.calibrate_attack", obs.String("attack", sc.Attack.Kind))
 		sched, err = buildAttack(sc, trainDS, nn.RandSource(sc.Seed+3, 0xa77ac))
+		calSpan.End()
 		if err != nil {
 			return nil, err
 		}
@@ -202,7 +223,9 @@ func run(sc Scenario, opts Options) (*Report, error) {
 		rr.AttackActive = sc.Attack.Active(round)
 		if round == sc.Rounds-1 || (sc.EvalEvery > 0 && (round+1)%sc.EvalEvery == 0) {
 			rr.Evaluated = true
+			_, evSpan := obs.Start(ctx, "sim.eval", obs.Int("round", round))
 			rr.Accuracy = evalAccuracy(model, testDS, flatInput, 32)
+			evSpan.End()
 		}
 		report.Rounds = append(report.Rounds, rr)
 		opts.logf("sim %s round %d/%d: %d/%d ok (%d drop, %d late), loss %.4f%s",
@@ -210,11 +233,13 @@ func run(sc Scenario, opts Options) (*Report, error) {
 			rr.MeanLoss, attackMark(rr.AttackActive))
 	}
 
-	if _, err := server.Run(context.Background()); err != nil {
+	if _, err := server.Run(ctx); err != nil {
 		return nil, err
 	}
+	_, scSpan := obs.Start(ctx, "sim.score")
 	scoreAttack(report, sched, population)
 	summarize(report)
+	scSpan.End()
 	return report, nil
 }
 
@@ -316,9 +341,17 @@ func (s *scheduledAttack) Name() string { return s.inner.Name() + "-scheduled" }
 
 // Observe inverts updates only on scheduled rounds.
 func (s *scheduledAttack) Observe(round int, u fl.Update) {
-	if s.active(round) {
-		s.inner.Observe(round, u)
+	if !s.active(round) {
+		return
 	}
+	if !obs.Enabled() {
+		s.inner.Observe(round, u)
+		return
+	}
+	obsAttackObserve.Inc()
+	start := time.Now()
+	s.inner.Observe(round, u)
+	obsReconstructMS.Observe(float64(time.Since(start).Microseconds()) / 1000)
 }
 
 // collectRound assembles one RoundReport from the server stats and the

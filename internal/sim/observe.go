@@ -1,0 +1,17 @@
+package sim
+
+import "github.com/oasisfl/oasis/internal/obs"
+
+// Scenario-engine instruments. Values are virtual-clock or count based where
+// the quantity itself is deterministic (dropouts, waits), wall-clock where
+// it measures real cost (defense/reconstruction timing); all self-gate on
+// the obs session and never touch an RNG stream.
+var (
+	obsDropouts       = obs.NewCounter("sim_dropout_total", "client-rounds lost to dropout")
+	obsLate           = obs.NewCounter("sim_late_total", "client-rounds lost to the virtual deadline")
+	obsStragglerWait  = obs.NewHistogram("sim_straggler_wait_ms", "virtual per-client round delay (stragglers + base latency)", obs.DefDurationBucketsMS)
+	obsDefenseApply   = obs.NewCounter("sim_defense_apply_total", "batches run through a client defense pipeline")
+	obsDefenseApplyMS = obs.NewHistogram("sim_defense_apply_ms", "wall-clock per defended batch transformation", obs.DefDurationBucketsMS)
+	obsAttackObserve  = obs.NewCounter("sim_attack_observe_total", "updates tapped by the dishonest server on strike rounds")
+	obsReconstructMS  = obs.NewHistogram("sim_attack_reconstruct_ms", "wall-clock per dishonest-server update inversion", obs.DefDurationBucketsMS)
+)

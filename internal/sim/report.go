@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"github.com/oasisfl/oasis/internal/metrics"
+	"github.com/oasisfl/oasis/internal/obs"
 )
 
 // RoundReport is one round of a scenario run, as the server experienced it.
@@ -71,6 +72,11 @@ type Report struct {
 	// AttackMeanSSIM averages the structural similarity of each
 	// reconstruction against its best-PSNR original (0 without captures).
 	AttackMeanSSIM float64 `json:"attack_mean_ssim,omitempty"`
+
+	// Trace is the run's observability summary. The engine never sets it —
+	// only CLIs do, and only when tracing was requested — so report JSON is
+	// byte-identical to older builds whenever observability is off.
+	Trace *obs.TraceSummary `json:"trace,omitempty"`
 }
 
 // JSON renders the report as indented JSON.

@@ -51,7 +51,7 @@ func Im2ColInto(dst, x *Tensor, kh, kw, stride, pad int) (int, int) {
 	colW := c * kh * kw
 	// Rows partition cleanly across goroutines: row (bi, oy, ox) touches only
 	// its own dst slice, and reads of x are shared and immutable.
-	parallelRows(b*oh*ow, b*oh*ow*colW, func(lo, hi int) {
+	parallelRows("im2col", b*oh*ow, b*oh*ow*colW, func(lo, hi int) {
 		for row := lo; row < hi; row++ {
 			ox := row % ow
 			oy := (row / ow) % oh
@@ -112,7 +112,7 @@ func ConvOut(cols, wmat *Tensor, bias []float64, b, oh, ow int) *Tensor {
 	ohw := oh * ow
 	// Partition by cols row: row r = (bi, oy, ox) owns output elements
 	// od[(bi*outC+oc)*ohw + oy*ow+ox] for every oc — disjoint across rows.
-	parallelRows(rows, rows*colW*outC, func(lo, hi int) {
+	parallelRows("conv_out", rows, rows*colW*outC, func(lo, hi int) {
 		for r := lo; r < hi; r++ {
 			crow := cd[r*colW : (r+1)*colW]
 			bi := r / ohw
@@ -163,7 +163,7 @@ func Col2ImInto(out, cols *Tensor, kh, kw, stride, pad int) {
 	}
 	colW := c * kh * kw
 	imSize := c * h * w
-	parallelRows(b, b*oh*ow*colW, func(blo, bhi int) {
+	parallelRows("col2im", b, b*oh*ow*colW, func(blo, bhi int) {
 		for bi := blo; bi < bhi; bi++ {
 			for i := bi * imSize; i < (bi+1)*imSize; i++ {
 				out.data[i] = 0

@@ -58,7 +58,7 @@ func MatMul(a, b *Tensor) *Tensor {
 	}
 	out := NewPooled(m, n)
 	ad, bd, od := a.data, b.data, out.data
-	parallelRows(m, m*k*n, func(lo, hi int) {
+	parallelRows("matmul", m, m*k*n, func(lo, hi int) {
 		w0 := min(mulColBlock, n)
 		panel := getBuf(k * w0)
 		for jb := 0; jb < n; jb += mulColBlock {
@@ -99,7 +99,7 @@ func MatMulTransB(a, b *Tensor) *Tensor {
 
 // matMulTransBInto computes out = a·bᵀ into a caller-provided m×n buffer.
 func matMulTransBInto(od, ad, bd []float64, m, k, n int) {
-	parallelRows(m, m*k*n, func(lo, hi int) {
+	parallelRows("matmul_tb", m, m*k*n, func(lo, hi int) {
 		for jb := 0; jb < n; jb += transBRowBlock {
 			je := min(jb+transBRowBlock, n)
 			// Two A rows per pass over the hot B panel: halves panel reads
@@ -142,7 +142,7 @@ func MatMulTransA(a, b *Tensor) *Tensor {
 		// Small output (conv weight gradients): the whole m×n result is
 		// cache-resident, so keep the historical kk-outer sweep — minus the
 		// sparse-skip branch — and split the output rows across workers.
-		parallelRows(m, flops, func(lo, hi int) {
+		parallelRows("matmul_ta", m, flops, func(lo, hi int) {
 			for kk := 0; kk < k; kk++ {
 				arow := ad[kk*m : (kk+1)*m]
 				brow := bd[kk*n : (kk+1)*n]
@@ -157,7 +157,7 @@ func MatMulTransA(a, b *Tensor) *Tensor {
 	// output columns and pack B's panel once per span so each output tile
 	// accumulates from L1/L2-resident data. Per element the k products still
 	// fold in ascending-k order.
-	parallelRows(m, flops, func(lo, hi int) {
+	parallelRows("matmul_ta", m, flops, func(lo, hi int) {
 		w0 := min(mulColBlock, n)
 		panel := getBuf(k * w0)
 		for jb := 0; jb < n; jb += mulColBlock {
@@ -188,7 +188,7 @@ func Transpose2D(a *Tensor) *Tensor {
 	m, n := a.shape[0], a.shape[1]
 	out := NewPooled(n, m)
 	ad, od := a.data, out.data
-	parallelRows(m, 8*m*n, func(lo, hi int) {
+	parallelRows("transpose2d", m, 8*m*n, func(lo, hi int) {
 		for ib := lo; ib < hi; ib += transposeTile {
 			ie := min(ib+transposeTile, hi)
 			for jb := 0; jb < n; jb += transposeTile {

@@ -3,6 +3,8 @@ package tensor
 import (
 	"math/bits"
 	"sync"
+
+	"github.com/oasisfl/oasis/internal/obs"
 )
 
 // The workspace arena: size-bucketed sync.Pools of float64 slices. Hot-path
@@ -22,6 +24,17 @@ const minPoolBucket = 10
 
 var bufPools [64]sync.Pool
 
+// Arena observability: hit rate (hits / (hits+misses)) is the number that
+// tells whether pooling is actually absorbing a workload's allocation
+// volume. Counters self-gate on the obs session (one atomic load when
+// disabled), so they are safe on this hot path. Sub-bucket requests (< 8 KiB)
+// are never pooled and are not counted.
+var (
+	obsPoolHit     = obs.NewCounter("tensor_pool_hit_total", "arena Gets served from a recycled array")
+	obsPoolMiss    = obs.NewCounter("tensor_pool_miss_total", "pool-eligible arena Gets that had to allocate")
+	obsPoolRelease = obs.NewCounter("tensor_pool_release_total", "arrays returned to the arena")
+)
+
 // getBuf returns a zeroed []float64 of length n, reusing a pooled array when
 // one is available.
 func getBuf(n int) []float64 {
@@ -31,12 +44,14 @@ func getBuf(n int) []float64 {
 	b := bits.Len(uint(n - 1)) // bucket whose arrays have cap ≥ n
 	if b >= minPoolBucket {
 		if v := bufPools[b].Get(); v != nil {
+			obsPoolHit.Inc()
 			s := v.([]float64)[:n]
 			for i := range s {
 				s[i] = 0
 			}
 			return s
 		}
+		obsPoolMiss.Inc()
 	}
 	return make([]float64, n, 1<<b)
 }
@@ -49,6 +64,7 @@ func putBuf(s []float64) {
 		return
 	}
 	b := bits.Len(uint(c)) - 1 // bucket whose arrays have cap ≥ 2^b
+	obsPoolRelease.Inc()
 	bufPools[b].Put(s[:0:c])
 }
 

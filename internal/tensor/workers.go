@@ -1,9 +1,13 @@
 package tensor
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"github.com/oasisfl/oasis/internal/obs"
 )
 
 // workerLimit caps how many goroutines a single kernel invocation may fan out
@@ -39,17 +43,59 @@ func Workers() int {
 // so tiny per-client matmuls must not fan out further.
 const parallelMinFlops = 1 << 21
 
+// Dispatch-layer observability. Counters see every kernel call (self-gated,
+// one atomic load while obs is disabled); spans would flood a trace at one
+// per matmul, so serial dispatches are sampled 1-in-kernelSpanSample while
+// genuine fan-outs — rare and big by construction — are always recorded.
+var (
+	obsDispatchSerial   = obs.NewCounter("tensor_dispatch_serial_total", "kernel dispatches run inline on the caller's goroutine")
+	obsDispatchParallel = obs.NewCounter("tensor_dispatch_parallel_total", "kernel dispatches fanned out over a goroutine tile pool")
+	obsKernelMS         = obs.NewHistogram("tensor_kernel_ms", "wall-clock per kernel dispatch", obs.DefDurationBucketsMS)
+	kernelSeq           atomic.Uint64
+)
+
+const kernelSpanSample = 64
+
 // parallelRows partitions [0, rows) into at most Workers() contiguous spans
 // and runs body on each span, one goroutine per span. Spans are disjoint, so
 // a body that writes only its own rows races with nothing; every span sees
 // the same per-element arithmetic a serial pass would perform. Small jobs
 // (flops below parallelMinFlops) run inline on the caller's goroutine.
-func parallelRows(rows, flops int, body func(lo, hi int)) {
+// kernel names the operation for the observability layer; it does not affect
+// execution.
+func parallelRows(kernel string, rows, flops int, body func(lo, hi int)) {
 	w := Workers()
 	if w > rows {
 		w = rows
 	}
-	if w <= 1 || flops < parallelMinFlops {
+	serial := w <= 1 || flops < parallelMinFlops
+	if !obs.Enabled() { // disabled hot path: one atomic load, nothing else
+		runRowSpans(serial, w, rows, body)
+		return
+	}
+	var sp *obs.Span
+	if serial {
+		obsDispatchSerial.Inc()
+		if kernelSeq.Add(1)%kernelSpanSample == 0 {
+			_, sp = obs.Start(context.Background(), "tensor."+kernel,
+				obs.Int("rows", rows), obs.Int("flops", flops),
+				obs.Int("sampled_1_in", kernelSpanSample))
+		}
+	} else {
+		obsDispatchParallel.Inc()
+		_, sp = obs.Start(context.Background(), "tensor."+kernel,
+			obs.Int("rows", rows), obs.Int("flops", flops), obs.Int("workers", w))
+	}
+	t0 := time.Now()
+	runRowSpans(serial, w, rows, body)
+	obsKernelMS.Observe(float64(time.Since(t0)) / float64(time.Millisecond))
+	sp.End()
+}
+
+// runRowSpans executes the row partition: inline when serial, otherwise one
+// goroutine per contiguous span.
+func runRowSpans(serial bool, w, rows int, body func(lo, hi int)) {
+	if serial {
 		body(0, rows)
 		return
 	}
