@@ -13,8 +13,10 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -36,8 +38,9 @@ func run() error {
 		list         = flag.Bool("list", false, "list preset scenarios")
 		dump         = flag.Bool("dump", false, "print the scenario spec JSON instead of running it")
 		quick        = flag.Bool("quick", false, "CI scale: cap rounds, shrink eval, never sleep")
-		workers      = flag.Int("workers", 0, "max clients trained concurrently per round (0 = NumCPU)")
+		workers      = flag.Int("workers", 0, "max clients trained concurrently per round (0 = cost-model cap)")
 		seed         = flag.Uint64("seed", 0, "override the scenario seed (0 = keep the spec's)")
+		rounds       = flag.Int("rounds", 0, "override the scenario round count (0 = keep the spec's)")
 		outDir       = flag.String("out", "", "directory for report.json and report.csv")
 		quiet        = flag.Bool("q", false, "suppress per-round progress")
 		tracePath    = flag.String("trace", "", "write a JSONL observability trace here (see internal/obs)")
@@ -76,18 +79,19 @@ func run() error {
 	if *seed != 0 {
 		sc.Seed = *seed
 	}
+	if *rounds > 0 {
+		sc.Rounds = *rounds
+	}
 
 	if *dump {
 		resolved, err := sc.Normalize()
 		if err != nil {
 			return err
 		}
-		raw, err := resolved.JSON()
-		if err != nil {
-			return err
-		}
-		fmt.Println(string(raw))
-		return nil
+		// Stream straight to stdout instead of materializing the spec bytes;
+		// the encoder's indent + trailing newline match the historical
+		// Println(MarshalIndent) output exactly.
+		return encodeJSON(os.Stdout, resolved)
 	}
 
 	opts := sim.Options{Quick: *quick, Workers: *workers}
@@ -116,12 +120,8 @@ func run() error {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
 			return err
 		}
-		raw, err := report.JSON()
-		if err != nil {
-			return err
-		}
 		jsonPath := filepath.Join(*outDir, "report.json")
-		if err := os.WriteFile(jsonPath, raw, 0o644); err != nil {
+		if err := writeJSONFile(jsonPath, report); err != nil {
 			return err
 		}
 		csvPath := filepath.Join(*outDir, "report.csv")
@@ -131,4 +131,26 @@ func run() error {
 		fmt.Printf("wrote %s and %s\n", jsonPath, csvPath)
 	}
 	return nil
+}
+
+// encodeJSON streams v as two-space-indented JSON so a large report (a
+// million-client scenario carries per-round stats for every round) never
+// exists as one contiguous byte slice on top of the encoder's buffers.
+func encodeJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// writeJSONFile streams v into path via encodeJSON.
+func writeJSONFile(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := encodeJSON(f, v); err != nil {
+		f.Close() //nolint:errcheck // the encode error takes precedence
+		return err
+	}
+	return f.Close()
 }

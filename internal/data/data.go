@@ -32,6 +32,14 @@ type Dataset interface {
 	Sample(i int) (*imaging.Image, int)
 }
 
+// Labeler is an optional Dataset refinement for corpora that can report a
+// sample's label without rendering the sample. Label(i) must equal the label
+// Sample(i) returns. Label-skew partitioners use it so that partitioning a
+// procedural million-sample dataset does not generate every image.
+type Labeler interface {
+	Label(i int) int
+}
+
 // Batch is an ordered set of images with labels — the local training batch D
 // of one FL client.
 type Batch struct {

@@ -142,16 +142,7 @@ func (d Dirichlet) Partition(ds Dataset, n int, rng *rand.Rand) ([][]int, error)
 	if d.Alpha <= 0 {
 		return nil, fmt.Errorf("data: dirichlet alpha must be > 0, got %g", d.Alpha)
 	}
-	byClass := make(map[int][]int)
-	order := []int{}
-	for i := 0; i < ds.Len(); i++ {
-		_, y := ds.Sample(i)
-		if _, ok := byClass[y]; !ok {
-			order = append(order, y)
-		}
-		byClass[y] = append(byClass[y], i)
-	}
-	sort.Ints(order)
+	byClass, order := classIndex(ds)
 	out := make([][]int, n)
 	for _, y := range order {
 		idx := byClass[y]

@@ -59,6 +59,10 @@ func (s *Synth) Shape() (int, int, int) { return s.c, s.h, s.w }
 // Len returns the virtual dataset size.
 func (s *Synth) Len() int { return s.n }
 
+// Label returns sample i's class without rendering the image; it matches the
+// label Sample(i) produces.
+func (s *Synth) Label(i int) int { return i % s.classes }
+
 // Sample deterministically generates the image and label for index i.
 func (s *Synth) Sample(i int) (*imaging.Image, int) {
 	rng := rand.New(rand.NewPCG(s.seed, uint64(i)*0x9e3779b97f4a7c15+1))

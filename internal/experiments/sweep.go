@@ -79,6 +79,11 @@ type SweepCell struct {
 	StdSSIM         float64 `json:"std_ssim"`
 	MeanAccuracy    float64 `json:"mean_accuracy"`
 	StdAccuracy     float64 `json:"std_accuracy"`
+	// FailedReplicates counts replicates that errored; the cell's statistics
+	// are over the completed ones only. Zero on the success path (and then
+	// omitted from JSON, so fully-successful sweep reports keep their
+	// historical bytes).
+	FailedReplicates int `json:"failed_replicates,omitempty"`
 }
 
 // SweepReport is the structured outcome of an attack×defense sweep. For a
@@ -340,37 +345,38 @@ func RunSweep(cfg SweepConfig) (*SweepReport, error) {
 	wg.Wait()
 
 	// Merge in deterministic grid order: cell content depends only on its
-	// own seeded runs, so the report is independent of scheduling. A failed
-	// cell is skipped (keeping completed cells dumpable) and the first
+	// own seeded runs, so the report is independent of scheduling. Every
+	// completed replicate is drained into the partial report — a cell with
+	// failures still aggregates its finished runs (FailedReplicates records
+	// the gap) and is omitted only when nothing completed, so a crash under
+	// high CellWorkers never discards work that was already done. The first
 	// failure in grid order becomes the returned error.
 	_, mergeSpan := obs.Start(ctx, "sweep.merge", obs.Int("cells", nCells))
 	defer mergeSpan.End()
 	var firstErr error
 	for c := 0; c < nCells; c++ {
 		atk, def := attacks[c/len(defenses)], defenses[c%len(defenses)]
-		failed := false
-		for r := 0; r < replicates; r++ {
-			if err := errs[c][r]; err != nil {
-				failed = true
-				if firstErr == nil {
-					firstErr = fmt.Errorf("experiments: sweep cell %s×%s (seed %d): %w", atk, def, seeds[r], err)
-				}
-				break
-			}
-		}
-		if failed {
-			continue
-		}
 		cell := SweepCell{Attack: atk, Defense: def}
 		psnrs := make([]float64, 0, replicates)
 		ssims := make([]float64, 0, replicates)
 		accs := make([]float64, 0, replicates)
-		for _, rep := range results[c] {
+		for r := 0; r < replicates; r++ {
+			if err := errs[c][r]; err != nil {
+				cell.FailedReplicates++
+				if firstErr == nil {
+					firstErr = fmt.Errorf("experiments: sweep cell %s×%s (seed %d): %w", atk, def, seeds[r], err)
+				}
+				continue
+			}
+			rep := results[c][r]
 			cell.Captures += rep.AttackCaptures
 			cell.Reconstructions += rep.AttackReconstructions
 			psnrs = append(psnrs, rep.AttackMeanPSNR)
 			ssims = append(ssims, rep.AttackMeanSSIM)
 			accs = append(accs, rep.FinalAccuracy)
+		}
+		if len(psnrs) == 0 {
+			continue // nothing completed; the cell renders as absent
 		}
 		cell.MeanPSNR, cell.StdPSNR = metrics.Mean(psnrs), metrics.Std(psnrs)
 		cell.MeanSSIM, cell.StdSSIM = metrics.Mean(ssims), metrics.Std(ssims)

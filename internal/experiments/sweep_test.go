@@ -5,9 +5,12 @@ import (
 	"errors"
 	"runtime"
 	"strings"
+	"sync/atomic"
 	"testing"
 
+	"github.com/oasisfl/oasis/internal/attack"
 	"github.com/oasisfl/oasis/internal/defense"
+	"github.com/oasisfl/oasis/internal/nn"
 )
 
 // TestSweepGoldenDeterminism is the acceptance bar for the parallel sweep
@@ -308,6 +311,104 @@ func TestSweepPartialReportOnError(t *testing.T) {
 	tbl := rep.Table()
 	if got := tbl.Rows[0][3]; got != "—" {
 		t.Errorf("failed cell rendered %q, want —", got)
+	}
+}
+
+// sweepTestFlakyOn arms the "sweep-test-flaky" attack constructor. The
+// attack axis defaults to every registered kind, so the registration leaks
+// into any later test sweeping the dynamic axis — disarmed, the kind is
+// just rtf under another name and those sweeps still succeed.
+var sweepTestFlakyOn atomic.Bool
+
+// TestSweepDrainsPartialCellReplicates is the regression test for the drain
+// bugfix: under high CellWorkers a replicate failure used to discard every
+// other replicate of that cell — including ones that had already finished.
+// A test-registered attack whose constructor fails on a seed-keyed coin flip
+// makes some replicates of one cell fail while others complete; the cell
+// must still appear with its completed replicates aggregated and the failed
+// count recorded, byte-identically to a serial (CellWorkers=1) run.
+func TestSweepDrainsPartialCellReplicates(t *testing.T) {
+	if !attack.Known("sweep-test-flaky") {
+		err := attack.Register("sweep-test-flaky", func(cfg attack.Config) (attack.Attack, error) {
+			if sweepTestFlakyOn.Load() && cfg.Rng.Uint64()%2 == 1 {
+				return nil, errors.New("intentional flaky calibration failure")
+			}
+			return attack.New("rtf", cfg)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	sweepTestFlakyOn.Store(true)
+	defer sweepTestFlakyOn.Store(false)
+	// Predict each replicate's fate from the exact keyed stream the sim hands
+	// the attack constructor, and insist the outcomes are mixed — an all-pass
+	// or all-fail draw would make this test vacuous.
+	const replicates = 3
+	seeds := ReplicateSeeds(DefaultSweepScenario().Seed, replicates)
+	wantFailed := 0
+	for _, s := range seeds {
+		if nn.RandSource(s+3, 0xa77ac).Uint64()%2 == 1 {
+			wantFailed++
+		}
+	}
+	if wantFailed == 0 || wantFailed == replicates {
+		t.Fatalf("replicate outcomes not mixed (%d/%d fail); pick different seeds", wantFailed, replicates)
+	}
+
+	run := func(cellWorkers int) (*SweepReport, error) {
+		return RunSweep(SweepConfig{
+			Attacks:     []string{"rtf", "sweep-test-flaky"},
+			Defenses:    []string{"none"},
+			Replicates:  replicates,
+			CellWorkers: cellWorkers,
+			Quick:       true,
+			Workers:     2,
+		})
+	}
+	rep, err := run(runtime.NumCPU())
+	if err == nil {
+		t.Fatal("flaky cell did not surface its replicate failures")
+	}
+	if !strings.Contains(err.Error(), "sweep cell sweep-test-flaky×none") {
+		t.Errorf("error %q does not name the flaky cell", err)
+	}
+	if rep == nil {
+		t.Fatal("no partial report attached to the replicate failure")
+	}
+	if len(rep.Cells) != 2 {
+		t.Fatalf("partial report carries %d cells, want both (flaky cell has completed replicates)", len(rep.Cells))
+	}
+	if rep.Cells[0].Attack != "rtf" || rep.Cells[1].Attack != "sweep-test-flaky" {
+		t.Fatalf("cells out of grid order: %s then %s", rep.Cells[0].Attack, rep.Cells[1].Attack)
+	}
+	clean, flaky := rep.Cells[0], rep.Cells[1]
+	if clean.FailedReplicates != 0 {
+		t.Errorf("rtf×none reports %d failed replicates, want 0", clean.FailedReplicates)
+	}
+	if flaky.FailedReplicates != wantFailed {
+		t.Errorf("flaky cell reports %d failed replicates, want %d", flaky.FailedReplicates, wantFailed)
+	}
+	if flaky.Reconstructions == 0 {
+		t.Error("flaky cell's completed replicates were dropped: no reconstructions aggregated")
+	}
+
+	// The drained partial report must be deterministic across cell-worker
+	// counts, same as the success path.
+	serial, serr := run(1)
+	if serr == nil || serial == nil {
+		t.Fatalf("serial rerun: err=%v rep=%v", serr, serial)
+	}
+	want, err := serial.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("partial report diverges across cell-worker counts:\n%s\nvs serial:\n%s", got, want)
 	}
 }
 

@@ -165,6 +165,13 @@ func (c *LocalClient) HandleRound(ctx context.Context, req RoundRequest) (Update
 	} else {
 		grads = net.Gradients()
 	}
+	// The decoded model is round-local: its parameters were cloned out of the
+	// spec and the upload gradients cloned out of it, so its buffers can feed
+	// the next cohort member instead of the collector.
+	for _, p := range net.Params() {
+		p.W.Release()
+		p.G.Release()
+	}
 	if c.GradDef != nil {
 		c.GradDef.Apply(grads)
 	}

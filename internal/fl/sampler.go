@@ -20,11 +20,36 @@ type ClientSampler interface {
 	Sample(round int, clients []Client, m int, rng *rand.Rand) []Client
 }
 
+// IndexSampler is the virtual-population refinement of ClientSampler: it
+// draws client *indices* from [0, n) so the caller never has to materialize
+// the roster being sampled from. size reports client i's local sample count
+// (nil, or a 0 return, weighs the client as 1). Both built-in samplers
+// implement it, and their Sample methods delegate to it, so the index and
+// client forms consume identical rng streams — the property that keeps a
+// virtual-roster run byte-identical to an eager one.
+type IndexSampler interface {
+	ClientSampler
+	// SampleIndices returns m distinct indices drawn from [0, n)
+	// (m ≤ 0 or m > n means all, in an implementation-chosen order).
+	SampleIndices(round, n, m int, size func(i int) int, rng *rand.Rand) []int
+}
+
 // SizedClient is optionally implemented by clients that can report how many
 // local samples they hold; SizeWeightedSampler uses it for proportional
 // selection (clients that don't implement it weigh as 1 sample).
 type SizedClient interface {
 	NumSamples() int
+}
+
+// clientSize adapts a materialized roster to the size callback of
+// SampleIndices.
+func clientSize(clients []Client) func(int) int {
+	return func(i int) int {
+		if sc, ok := clients[i].(SizedClient); ok {
+			return sc.NumSamples()
+		}
+		return 0
+	}
 }
 
 // NewSamplerByName resolves a sampling strategy: "uniform" (each client
@@ -54,16 +79,22 @@ var _ ClientSampler = UniformSampler{}
 func (UniformSampler) Name() string { return "uniform" }
 
 // Sample permutes the roster and takes the first m entries.
-func (UniformSampler) Sample(_ int, clients []Client, m int, rng *rand.Rand) []Client {
-	if m <= 0 || m > len(clients) {
-		m = len(clients)
-	}
-	perm := rng.Perm(len(clients))
-	selected := make([]Client, 0, m)
-	for _, idx := range perm[:m] {
+func (u UniformSampler) Sample(round int, clients []Client, m int, rng *rand.Rand) []Client {
+	indices := u.SampleIndices(round, len(clients), m, nil, rng)
+	selected := make([]Client, 0, len(indices))
+	for _, idx := range indices {
 		selected = append(selected, clients[idx])
 	}
 	return selected
+}
+
+// SampleIndices permutes [0, n) and takes the first m entries.
+func (UniformSampler) SampleIndices(_, n, m int, _ func(int) int, rng *rand.Rand) []int {
+	if m <= 0 || m > n {
+		m = n
+	}
+	perm := rng.Perm(n)
+	return perm[:m:m]
 }
 
 // SizeWeightedSampler draws m clients without replacement with probability
@@ -78,22 +109,35 @@ var _ ClientSampler = SizeWeightedSampler{}
 func (SizeWeightedSampler) Name() string { return "size" }
 
 // Sample performs successive weighted draws without replacement.
-func (SizeWeightedSampler) Sample(_ int, clients []Client, m int, rng *rand.Rand) []Client {
-	if m <= 0 || m > len(clients) {
-		m = len(clients)
+func (s SizeWeightedSampler) Sample(round int, clients []Client, m int, rng *rand.Rand) []Client {
+	indices := s.SampleIndices(round, len(clients), m, clientSize(clients), rng)
+	selected := make([]Client, 0, len(indices))
+	for _, idx := range indices {
+		selected = append(selected, clients[idx])
 	}
-	weights := make([]float64, len(clients))
+	return selected
+}
+
+// SampleIndices performs successive weighted draws without replacement over
+// [0, n), weighing index i by size(i) when positive and 1 otherwise.
+func (SizeWeightedSampler) SampleIndices(_, n, m int, size func(int) int, rng *rand.Rand) []int {
+	if m <= 0 || m > n {
+		m = n
+	}
+	weights := make([]float64, n)
 	remaining := 0.0
-	for i, c := range clients {
+	for i := range weights {
 		w := 1.0
-		if sc, ok := c.(SizedClient); ok && sc.NumSamples() > 0 {
-			w = float64(sc.NumSamples())
+		if size != nil {
+			if s := size(i); s > 0 {
+				w = float64(s)
+			}
 		}
 		weights[i] = w
 		remaining += w
 	}
-	selected := make([]Client, 0, m)
-	taken := make([]bool, len(clients))
+	selected := make([]int, 0, m)
+	taken := make([]bool, n)
 	for len(selected) < m {
 		r := rng.Float64() * remaining
 		pick := -1
@@ -109,7 +153,12 @@ func (SizeWeightedSampler) Sample(_ int, clients []Client, m int, rng *rand.Rand
 		}
 		taken[pick] = true
 		remaining -= weights[pick]
-		selected = append(selected, clients[pick])
+		selected = append(selected, pick)
 	}
 	return selected
 }
+
+var (
+	_ IndexSampler = UniformSampler{}
+	_ IndexSampler = SizeWeightedSampler{}
+)

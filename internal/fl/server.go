@@ -81,6 +81,14 @@ type ServerConfig struct {
 	// such a round. Requires TolerateFailures semantics for the individual
 	// failures to be tolerated in the first place.
 	AllowEmptyRounds bool
+	// ReleaseUpdates returns every aggregated update's gradient tensors to
+	// the tensor pool right after the Aggregator folds them, bounding a
+	// round's live gradient memory at O(workers × model) instead of
+	// O(cohort × model). Only enable it when neither the Observer nor the
+	// Aggregator retains references into u.Grads beyond their call (all
+	// built-in aggregators and attacks copy what they keep); the tensors are
+	// recycled the moment Add returns.
+	ReleaseUpdates bool
 }
 
 // RoundStats records one round's aggregate outcome.
@@ -116,6 +124,13 @@ type Server struct {
 	Roster   Roster
 	Modifier ModelModifier
 	Observer UpdateObserver
+	// Virtual, when set, replaces Roster as the population source: clients
+	// are sampled by index over [0, NumClients()) and only the round's
+	// cohort is instantiated (leased before dispatch, released after the
+	// step is applied). Requires the Sampler to implement IndexSampler; the
+	// built-in samplers do, with rng streams identical to their Sample
+	// methods, so a virtual run reproduces a materialized one bit for bit.
+	Virtual VirtualRoster
 	// Sampler picks each round's participants; nil keeps the historical
 	// uniform-without-replacement draw bit for bit.
 	Sampler ClientSampler
@@ -186,6 +201,58 @@ func (s *Server) fireAfterRound(ctx context.Context, round int, stats RoundStats
 	return nil
 }
 
+// selectRound draws the round's participants, from the materialized Roster
+// or — when Virtual is set — by index over the virtual population, leasing
+// only the sampled cohort. Both paths run the identical sampler rng
+// operations on the server goroutine.
+func (s *Server) selectRound(round int) ([]Client, error) {
+	sampler := s.Sampler
+	if sampler == nil {
+		// UniformSampler performs exactly the historical rng operations, so
+		// the default selection stays bit-identical to older releases.
+		sampler = UniformSampler{}
+	}
+	if s.Virtual == nil {
+		clients := s.Roster.Clients()
+		if len(clients) == 0 {
+			return nil, fmt.Errorf("fl: round %d: no clients connected", round)
+		}
+		m := s.Config.ClientsPerRound
+		if m <= 0 || m > len(clients) {
+			m = len(clients)
+		}
+		selected := sampler.Sample(round, clients, m, s.rng)
+		if len(selected) == 0 {
+			return nil, fmt.Errorf("fl: round %d: sampler %s selected no clients", round, sampler.Name())
+		}
+		return selected, nil
+	}
+	n := s.Virtual.NumClients()
+	if n == 0 {
+		return nil, fmt.Errorf("fl: round %d: no clients connected", round)
+	}
+	is, ok := sampler.(IndexSampler)
+	if !ok {
+		return nil, fmt.Errorf("fl: round %d: sampler %s cannot drive a virtual roster (no SampleIndices)", round, sampler.Name())
+	}
+	m := s.Config.ClientsPerRound
+	if m <= 0 || m > n {
+		m = n
+	}
+	indices := is.SampleIndices(round, n, m, s.Virtual.NumSamples, s.rng)
+	if len(indices) == 0 {
+		return nil, fmt.Errorf("fl: round %d: sampler %s selected no clients", round, sampler.Name())
+	}
+	selected, err := s.Virtual.Lease(round, indices)
+	if err != nil {
+		return nil, fmt.Errorf("fl: round %d: leasing cohort: %w", round, err)
+	}
+	if len(selected) != len(indices) {
+		return nil, fmt.Errorf("fl: round %d: virtual roster leased %d clients for %d indices", round, len(selected), len(indices))
+	}
+	return selected, nil
+}
+
 // roundResult pairs one selected client's outcome with nothing else; the
 // slice index carries the selection order.
 type roundResult struct {
@@ -197,23 +264,14 @@ func (s *Server) runRound(ctx context.Context, round int) (RoundStats, error) {
 	ctx, sp := obs.Start(ctx, "fl.round", obs.Int("round", round))
 	defer sp.End()
 	obsRounds.Inc()
-	clients := s.Roster.Clients()
-	if len(clients) == 0 {
-		return RoundStats{}, fmt.Errorf("fl: round %d: no clients connected", round)
+	selected, err := s.selectRound(round)
+	if err != nil {
+		return RoundStats{}, err
 	}
-	m := s.Config.ClientsPerRound
-	if m <= 0 || m > len(clients) {
-		m = len(clients)
-	}
-	sampler := s.Sampler
-	if sampler == nil {
-		// UniformSampler performs exactly the historical rng operations, so
-		// the default selection stays bit-identical to older releases.
-		sampler = UniformSampler{}
-	}
-	selected := sampler.Sample(round, clients, m, s.rng)
-	if len(selected) == 0 {
-		return RoundStats{}, fmt.Errorf("fl: round %d: sampler %s selected no clients", round, sampler.Name())
+	if s.Virtual != nil {
+		// The cohort's release runs after Finalize and the applied step, so
+		// leased state lives exactly as long as the round that sampled it.
+		defer s.Virtual.Release(round, selected)
 	}
 
 	spec, err := EncodeModel(s.Model)
@@ -275,6 +333,13 @@ func (s *Server) runRound(ctx context.Context, round int) (RoundStats, error) {
 		if err := agg.Add(update); err != nil {
 			mergeErr = fmt.Errorf("fl: round %d: %w", round, err)
 			return false
+		}
+		if s.Config.ReleaseUpdates {
+			// Observer and Aggregator have both seen the update; its gradient
+			// buffers go back to the pool now instead of at GC's leisure.
+			for _, g := range update.Grads {
+				g.Release()
+			}
 		}
 		return true
 	}

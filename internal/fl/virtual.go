@@ -1,0 +1,37 @@
+package fl
+
+// VirtualRoster describes an FL population without materializing it: the
+// server samples client *indices* over [0, NumClients()) and only the
+// round's cohort is ever instantiated. This is the cross-device regime the
+// OASIS paper assumes — millions of enrolled devices, a few hundred sampled
+// per round — which an eager Roster cannot represent without O(population)
+// memory.
+//
+// Lifecycle per round, all on the server goroutine:
+//
+//	indices := sampler.SampleIndices(round, NumClients(), m, NumSamples, rng)
+//	cohort  := Lease(round, indices)     // instantiate, in index order
+//	...dispatch / observe / aggregate / apply step...
+//	Release(round, cohort)               // after the step; buffers may be recycled
+//
+// Lease must return one Client per index, in the given order — the server
+// preserves that order for dispatch, observation, and aggregation, which is
+// what keeps a virtual run byte-identical to a materialized one. Release is
+// the bookend: implementations return pooled buffers there, or keep
+// clients resident when cross-round state (training rng position, stateful
+// defenses) must survive — the contract only requires that a later Lease of
+// the same index observes the state a materialized client would have.
+type VirtualRoster interface {
+	// NumClients returns the virtual population size.
+	NumClients() int
+	// NumSamples reports client i's local dataset size for size-weighted
+	// sampling (0 means "weigh as one sample"). Must not instantiate the
+	// client.
+	NumSamples(i int) int
+	// Lease instantiates the cohort for the given round, one Client per
+	// index, in index-argument order.
+	Lease(round int, indices []int) ([]Client, error)
+	// Release ends the cohort's round. The server calls it exactly once per
+	// successful Lease, after the aggregated step has been applied.
+	Release(round int, clients []Client)
+}

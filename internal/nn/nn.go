@@ -114,12 +114,14 @@ func (s *Sequential) NumParams() int {
 }
 
 // Gradients returns deep copies of all parameter gradients in layer order.
-// This is the payload a federated-learning client uploads.
+// This is the payload a federated-learning client uploads. The copies are
+// pool-backed: a caller done with one may Release it, and one that never
+// does simply leaves it to the collector.
 func (s *Sequential) Gradients() []*tensor.Tensor {
 	ps := s.Params()
 	out := make([]*tensor.Tensor, len(ps))
 	for i, p := range ps {
-		out[i] = p.G.Clone()
+		out[i] = p.G.ClonePooled()
 	}
 	return out
 }
@@ -140,12 +142,13 @@ func (s *Sequential) SetWeights(ws []*tensor.Tensor) error {
 	return nil
 }
 
-// Weights returns deep copies of all parameter values in layer order.
+// Weights returns deep copies of all parameter values in layer order,
+// pool-backed like Gradients.
 func (s *Sequential) Weights() []*tensor.Tensor {
 	ps := s.Params()
 	out := make([]*tensor.Tensor, len(ps))
 	for i, p := range ps {
-		out[i] = p.W.Clone()
+		out[i] = p.W.ClonePooled()
 	}
 	return out
 }

@@ -1,9 +1,11 @@
 // Package sim is the declarative scenario engine: it turns a Scenario spec
-// (constructed in Go or decoded from JSON) into a fully materialized
-// federated population — hundreds to thousands of clients over non-IID
-// shards, with dropout, stragglers, partial defense coverage and a scheduled
-// dishonest server — drives the concurrent fl round engine over it, and
-// emits a structured, deterministic Report.
+// (constructed in Go or decoded from JSON) into a federated population —
+// thousands to millions of clients over non-IID shards, with dropout,
+// stragglers, partial defense coverage and a scheduled dishonest server —
+// drives the concurrent fl round engine over it, and emits a structured,
+// deterministic Report. Populations are virtual: per-client state is
+// materialized only for the clients a round actually touches, so the
+// population size bounds addressing, not memory.
 //
 // # Spec schema
 //
@@ -68,6 +70,36 @@
 // of (seed, straggler spec) alone and the defended set of (seed, defense
 // spec) alone, so toggling one knob — say, switching Defense.Kind between
 // sweep cells — can never reshuffle an unrelated draw.
+//
+// # Virtual clients and memory
+//
+// The engine never allocates O(population) training state. Each client
+// exists first as a cheap descriptor — index, defended/straggler membership
+// (sorted-index sets drawn once per scenario, O(count) retained), and a
+// shard length resolved from a lazy partition (data.PartitionLazy computes
+// any Shard(k) on demand from the same keyed stream the eager partitioner
+// consumes, so lazy and eager shards are element-identical). A client is
+// instantiated only when a round's cohort leases it:
+//
+//	SampleIndices → Lease(round, indices) → train/observe → aggregate → Release
+//
+// Lease materializes the cohort in index order; Release runs after the
+// server step. Instantiated clients stay resident across rounds — their
+// training rng and stateful defense pipelines (e.g. dpsgd) must continue,
+// and residency is bounded by rounds × cohort, not population — while the
+// heavy per-round buffers recycle through the internal/tensor pool: decoded
+// model parameters are released by the client after gradients are cloned
+// out, and uploaded gradients are released by the server once aggregated
+// (fl.ServerConfig.ReleaseUpdates), holding live tensor memory to
+// O(workers × model) instead of O(cohort × model).
+//
+// When Options.Workers is zero the per-round concurrency cap comes from a
+// cost model, min(NumCPU, budget/footprint, cohort) with a fixed round-state
+// budget and a per-client footprint proportional to the model size, rather
+// than NumCPU alone — reports are worker-invariant, so the cap only shapes
+// memory and wall clock. The cross-device-1M preset (one million clients,
+// 1024-client cohorts) exercises exactly this regime and backs the CI
+// memory-ceiling job.
 //
 // # Failure semantics
 //

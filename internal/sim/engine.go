@@ -91,8 +91,9 @@ func run(ctx context.Context, sc Scenario, opts Options) (*Report, error) {
 	defer runSpan.End()
 
 	// Materialization covers everything before the first round: datasets,
-	// partition, population, and the global model. The span closes early on
-	// success and the deferred End is then a no-op (End is nil-safe).
+	// the lazy partition, membership sets, and the global model. No client
+	// state exists yet — cohorts are instantiated per round. The span closes
+	// early on success and the deferred End is then a no-op (End is nil-safe).
 	_, matSpan := obs.Start(ctx, "sim.materialize", obs.Int("clients", sc.Clients))
 	defer func() { matSpan.End() }()
 	d := sc.Dataset
@@ -101,12 +102,12 @@ func run(ctx context.Context, sc Scenario, opts Options) (*Report, error) {
 
 	// Population construction draws from independent keyed streams (see the
 	// salt constants above); per-client training streams are keyed by client
-	// index below.
+	// index at instantiation time.
 	partitioner, err := data.NewPartitioner(sc.Partition)
 	if err != nil {
 		return nil, err
 	}
-	parts, err := partitioner.Partition(trainDS, sc.Clients, nn.RandSource(sc.Seed, saltPartition))
+	parts, err := data.PartitionLazy(partitioner, trainDS, sc.Clients, nn.RandSource(sc.Seed, saltPartition))
 	if err != nil {
 		return nil, err
 	}
@@ -114,51 +115,16 @@ func run(ctx context.Context, sc Scenario, opts Options) (*Report, error) {
 	defenseLabel := ""
 	if sc.Defense.Kind != "" {
 		// A parse-only pipeline resolves the report label (its composite
-		// Name shows resolved parameters); per-client instances with their
-		// own seeded streams are built in the population loop below.
+		// Name shows resolved parameters) and rejects malformed specs before
+		// any round runs; per-client instances with their own seeded streams
+		// are built when a defended client is first instantiated.
 		label, err := defense.NewPipeline(sc.Defense.Kind, defense.Config{})
 		if err != nil {
 			return nil, err
 		}
 		defenseLabel = label.Name()
 	}
-	defended, nDefended, stragglers := populationFlags(sc)
-
-	roster := fl.NewMemoryRoster()
-	population := make([]*simClient, sc.Clients)
-	for i := 0; i < sc.Clients; i++ {
-		shard := data.NewSubset(trainDS, parts[i], fmt.Sprintf("%s-shard-%d", sc.Name, i))
-		lc := fl.NewLocalClient(fmt.Sprintf("client-%04d", i), shard, sc.BatchSize, nn.RandSource(sc.Seed+1, uint64(i)))
-		lc.LocalSteps = sc.LocalSteps
-		rec := &batchRecorder{}
-		if defended[i] {
-			// Each defended client gets its own pipeline instance over a
-			// per-client seeded stream: stochastic stages (DPSGD, ATS) are
-			// stateful and must not be shared across concurrent clients.
-			pl, err := defense.NewPipeline(sc.Defense.Kind,
-				defense.Config{Rng: nn.RandSource(sc.Seed+2, uint64(i))})
-			if err != nil {
-				return nil, err
-			}
-			rec.inner = defense.BatchAdapter{D: pl}
-			lc.GradDef = defense.GradAdapter{D: pl}
-		}
-		lc.Pre = rec
-		population[i] = &simClient{
-			inner:      lc,
-			index:      i,
-			seed:       sc.Seed,
-			record:     rec,
-			dropout:    sc.Dropout,
-			straggler:  stragglers[i],
-			baseMS:     sc.Straggler.BaseDelayMS,
-			meanMS:     sc.Straggler.MeanDelayMS,
-			deadlineMS: sc.DeadlineMS,
-			realTime:   sc.RealTime,
-			outcomes:   make(map[int]*roundOutcome, sc.Rounds),
-		}
-		roster.Add(population[i])
-	}
+	vp := newVirtualPopulation(sc, trainDS, parts)
 
 	model, flatInput, err := buildModel(sc, trainDS)
 	if err != nil {
@@ -167,21 +133,36 @@ func run(ctx context.Context, sc Scenario, opts Options) (*Report, error) {
 	matSpan.End()
 	matSpan = nil
 
+	cohort := sc.ClientsPerRound
+	if cohort <= 0 || cohort > sc.Clients {
+		cohort = sc.Clients
+	}
+	workers := opts.Workers
+	if workers == 0 {
+		// Unspecified concurrency resolves through the cost model rather
+		// than raw NumCPU, so huge-cohort × huge-model rounds do not pin
+		// O(NumCPU × model) buffers on a small box.
+		workers = costModelWorkers(cohort, model.NumParams())
+	}
 	cfg := fl.ServerConfig{
 		Rounds:           sc.Rounds,
 		ClientsPerRound:  sc.ClientsPerRound,
 		LearningRate:     sc.LearningRate,
 		Seed:             sc.Seed,
-		Workers:          opts.Workers,
+		Workers:          workers,
 		TolerateFailures: true,
 		AllowEmptyRounds: true,
+		// Upload gradients are folded and released inside the round; combined
+		// with cohort leasing this keeps live tensors at O(workers × model).
+		ReleaseUpdates: true,
 	}
 	if sc.RealTime && sc.DeadlineMS > 0 {
 		// Wall-clock safety net, well above the virtual deadline so it only
 		// fires for genuinely wedged clients, never for simulated delays.
 		cfg.RoundDeadline = time.Duration(4*sc.DeadlineMS) * time.Millisecond
 	}
-	server := fl.NewServer(cfg, model, roster)
+	server := fl.NewServer(cfg, model, nil)
+	server.Virtual = vp
 	server.Sampler, err = fl.NewSamplerByName(sc.Sampling)
 	if err != nil {
 		return nil, err
@@ -199,9 +180,8 @@ func run(ctx context.Context, sc Scenario, opts Options) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		for _, c := range population {
-			c.attackActive = sc.Attack.Active
-		}
+		// Copied onto every client at instantiation; no cohort exists yet.
+		vp.attackActive = sc.Attack.Active
 		server.Modifier = sched
 		server.Observer = sched
 	}
@@ -214,12 +194,13 @@ func run(ctx context.Context, sc Scenario, opts Options) (*Report, error) {
 		Sampler:    server.Sampler.Name(),
 		Aggregator: server.Aggregator.Name(),
 		Defense:    defenseLabel,
-		Defended:   nDefended,
+		Defended:   vp.defended.Count(),
 		Attack:     sc.Attack.Kind,
 		ShardSizes: shardStats(parts),
 	}
 	server.AfterRound = func(round int, stats fl.RoundStats) {
-		rr := collectRound(round, stats, population, sc.DeadlineMS)
+		recordHeapPeak()
+		rr := collectRound(round, stats, vp.residents(), sc.DeadlineMS)
 		rr.AttackActive = sc.Attack.Active(round)
 		if round == sc.Rounds-1 || (sc.EvalEvery > 0 && (round+1)%sc.EvalEvery == 0) {
 			rr.Evaluated = true
@@ -237,33 +218,10 @@ func run(ctx context.Context, sc Scenario, opts Options) (*Report, error) {
 		return nil, err
 	}
 	_, scSpan := obs.Start(ctx, "sim.score")
-	scoreAttack(report, sched, population)
+	scoreAttack(report, sched, vp.residents())
 	summarize(report)
 	scSpan.End()
 	return report, nil
-}
-
-// populationFlags draws the defended and straggler membership sets, each on
-// its own keyed stream so the two assignments never perturb one another: the
-// straggler set is a function of (seed, straggler spec) alone, and the
-// defended set of (seed, defense spec) alone. Any future population-level
-// draw must follow the same pattern with a fresh salt.
-func populationFlags(sc Scenario) (defended []bool, nDefended int, stragglers []bool) {
-	defended = make([]bool, sc.Clients)
-	if sc.Defense.Kind != "" {
-		nDefended = int(math.Round(sc.Defense.Fraction * float64(sc.Clients)))
-		rng := nn.RandSource(sc.Seed, saltDefense)
-		for _, idx := range rng.Perm(sc.Clients)[:nDefended] {
-			defended[idx] = true
-		}
-	}
-	stragglers = make([]bool, sc.Clients)
-	nStragglers := int(math.Round(sc.Straggler.Fraction * float64(sc.Clients)))
-	rng := nn.RandSource(sc.Seed, saltStraggler)
-	for _, idx := range rng.Perm(sc.Clients)[:nStragglers] {
-		stragglers[idx] = true
-	}
-	return defended, nDefended, stragglers
 }
 
 func attackMark(active bool) string {
@@ -459,25 +417,14 @@ func summarize(report *Report) {
 	}
 }
 
-// shardStats summarizes the partition's shard sizes.
-func shardStats(parts [][]int) ShardStats {
-	st := ShardStats{Min: math.MaxInt}
-	total := 0
-	for _, p := range parts {
-		if len(p) < st.Min {
-			st.Min = len(p)
-		}
-		if len(p) > st.Max {
-			st.Max = len(p)
-		}
-		total += len(p)
+// shardStats summarizes the partition's shard sizes without materializing
+// any shard.
+func shardStats(parts *data.LazyPartition) ShardStats {
+	if parts.Shards() == 0 {
+		return ShardStats{}
 	}
-	if len(parts) > 0 {
-		st.Mean = float64(total) / float64(len(parts))
-	} else {
-		st.Min = 0
-	}
-	return st
+	mn, mx, mean := parts.Stats()
+	return ShardStats{Min: mn, Max: mx, Mean: mean}
 }
 
 // evalAccuracy measures held-out classification accuracy in inference mode.

@@ -1,6 +1,10 @@
 package sim
 
-import "github.com/oasisfl/oasis/internal/obs"
+import (
+	"runtime"
+
+	"github.com/oasisfl/oasis/internal/obs"
+)
 
 // Scenario-engine instruments. Values are virtual-clock or count based where
 // the quantity itself is deterministic (dropouts, waits), wall-clock where
@@ -14,4 +18,20 @@ var (
 	obsDefenseApplyMS = obs.NewHistogram("sim_defense_apply_ms", "wall-clock per defended batch transformation", obs.DefDurationBucketsMS)
 	obsAttackObserve  = obs.NewCounter("sim_attack_observe_total", "updates tapped by the dishonest server on strike rounds")
 	obsReconstructMS  = obs.NewHistogram("sim_attack_reconstruct_ms", "wall-clock per dishonest-server update inversion", obs.DefDurationBucketsMS)
+	obsHeapPeak       = obs.NewGauge("sim_heap_peak_bytes", "high-water runtime HeapAlloc observed at round boundaries")
 )
+
+// recordHeapPeak samples HeapAlloc at a round boundary and keeps the
+// high-water mark in the sim_heap_peak_bytes gauge, which obs.Disable folds
+// into the trace's final metrics event — the number the CI memory-ceiling
+// job inspects. Self-gated: an untraced run never calls ReadMemStats.
+func recordHeapPeak() {
+	if !obs.Enabled() {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if v := float64(ms.HeapAlloc); v > obsHeapPeak.Value() {
+		obsHeapPeak.Set(v)
+	}
+}

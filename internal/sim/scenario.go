@@ -399,6 +399,22 @@ func Presets() []Scenario {
 			EvalEvery: 3, TestSamples: 128,
 		},
 		{
+			Name:        "cross-device-1M",
+			Description: "One million virtual devices, 1024 sampled per round — the OASIS cross-device regime at honest scale.",
+			Seed:        42,
+			Clients:     1_000_000, Rounds: 3, ClientsPerRound: 1024, BatchSize: 2,
+			Dataset:    DatasetSpec{Classes: 10, Channels: 1, Height: 8, Width: 8, Samples: 2_000_000},
+			Partition:  "iid",
+			Sampling:   "uniform",
+			Dropout:    0.05,
+			Straggler:  StragglerSpec{Fraction: 0.1, MeanDelayMS: 80, BaseDelayMS: 5},
+			DeadlineMS: 150,
+			Defense:    DefenseSpec{Kind: "oasis:MR", Fraction: 0.2},
+			Attack:     AttackSpec{Kind: "rtf", Neurons: 32, FirstRound: 1, LastRound: 1},
+			Model:      ArchSpec{Kind: "mlp", Hidden: 32},
+			EvalEvery:  0, TestSamples: 128,
+		},
+		{
 			Name:        "adversarial-burst",
 			Description: "100 clients training honestly until a mid-run CAH burst; half the population runs DP-SGD.",
 			Seed:        42,

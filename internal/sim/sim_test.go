@@ -12,7 +12,7 @@ import (
 
 func TestPresetsNormalize(t *testing.T) {
 	names := PresetNames()
-	want := []string{"smoke", "cross-device-1k", "flaky-hospital", "qbi-probe", "loki-population", "adversarial-burst"}
+	want := []string{"smoke", "cross-device-1k", "flaky-hospital", "qbi-probe", "loki-population", "cross-device-1M", "adversarial-burst"}
 	if !reflect.DeepEqual(names, want) {
 		t.Fatalf("preset names %v, want %v", names, want)
 	}
@@ -199,7 +199,7 @@ func TestCrossDevice1kAcceptance(t *testing.T) {
 // engine: a fixed seed must yield a bit-identical report (JSON and all) for
 // every worker count, including the full 1000-client scenario.
 func TestReportDeterministicAcrossWorkers(t *testing.T) {
-	for _, preset := range []string{"smoke", "cross-device-1k"} {
+	for _, preset := range []string{"smoke", "cross-device-1k", "flaky-hospital", "adversarial-burst"} {
 		t.Run(preset, func(t *testing.T) {
 			seq := runPreset(t, preset, 1)
 			con := runPreset(t, preset, 8)

@@ -3,6 +3,9 @@ package sim
 import (
 	"reflect"
 	"testing"
+
+	"github.com/oasisfl/oasis/internal/data"
+	"github.com/oasisfl/oasis/internal/nn"
 )
 
 // flagsScenario is a population with both a defended fraction and a straggler
@@ -54,20 +57,78 @@ func TestPopulationFlagsCounts(t *testing.T) {
 	if nDefended != 20 {
 		t.Errorf("defended count %d, want 20 (0.5 of 40)", nDefended)
 	}
-	count := func(bs []bool) int {
-		n := 0
-		for _, b := range bs {
-			if b {
-				n++
+	if got := defended.Count(); got != nDefended {
+		t.Errorf("defended membership count %d, want %d", got, nDefended)
+	}
+	if got := stragglers.Count(); got != 12 {
+		t.Errorf("straggler membership count %d, want 12 (0.3 of 40)", got)
+	}
+}
+
+// TestMembershipMatchesLegacyFlags is the regression test for the O(cohort)
+// membership bugfix: the sorted-index sets must mark exactly the clients the
+// historical []bool slices did. The legacy draw is reimplemented inline
+// (Perm prefix over the same keyed streams) and compared client by client.
+func TestMembershipMatchesLegacyFlags(t *testing.T) {
+	sc := flagsScenario()
+	legacy := func(salt uint64, count int) []bool {
+		flags := make([]bool, sc.Clients)
+		rng := nn.RandSource(sc.Seed, salt)
+		for _, idx := range rng.Perm(sc.Clients)[:count] {
+			flags[idx] = true
+		}
+		return flags
+	}
+	defended, nDefended, stragglers := populationFlags(sc)
+	wantDefended := legacy(saltDefense, nDefended)
+	wantStragglers := legacy(saltStraggler, 12)
+	for i := 0; i < sc.Clients; i++ {
+		if got := defended.Contains(i); got != wantDefended[i] {
+			t.Errorf("defended.Contains(%d) = %v, legacy flag %v", i, got, wantDefended[i])
+		}
+		if got := stragglers.Contains(i); got != wantStragglers[i] {
+			t.Errorf("stragglers.Contains(%d) = %v, legacy flag %v", i, got, wantStragglers[i])
+		}
+	}
+	if defended.Contains(-1) || defended.Contains(sc.Clients) {
+		t.Error("membership claims out-of-range clients")
+	}
+}
+
+// TestReliabilityDrawsPrefixStable pins the keyed-stream property behind
+// growing populations: a client's per-round reliability stream depends only
+// on (seed, index, round), so adding clients to a scenario never changes the
+// fate of the clients that were already there.
+func TestReliabilityDrawsPrefixStable(t *testing.T) {
+	outcome := func(clients, index, round int) (bool, bool, float64) {
+		sc := flagsScenario()
+		sc.Clients = clients
+		sc.Dropout = 0.2
+		sc.DeadlineMS = 60
+		sc.Dataset.Samples = clients * 4
+		d := sc.Dataset
+		ds := data.NewSynthCustom("prefix", d.Classes, d.Channels, d.Height, d.Width, d.Samples, sc.Seed)
+		parts, err := data.PartitionLazy(data.IID{}, ds, clients, nn.RandSource(sc.Seed, saltPartition))
+		if err != nil {
+			t.Fatal(err)
+		}
+		vp := newVirtualPopulation(sc, ds, parts)
+		c, err := vp.instantiate(virtualClient{index: index, straggler: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := c.draw(round)
+		return o.dropped, o.late, o.delayMS
+	}
+	for _, index := range []int{0, 7, 39} {
+		for round := 0; round < 3; round++ {
+			d1, l1, ms1 := outcome(40, index, round)
+			d2, l2, ms2 := outcome(4000, index, round)
+			if d1 != d2 || l1 != l2 || ms1 != ms2 {
+				t.Errorf("client %d round %d fate changed when the population grew 40→4000: (%v,%v,%g) vs (%v,%v,%g)",
+					index, round, d1, l1, ms1, d2, l2, ms2)
 			}
 		}
-		return n
-	}
-	if got := count(defended); got != nDefended {
-		t.Errorf("defended flags count %d, want %d", got, nDefended)
-	}
-	if got := count(stragglers); got != 12 {
-		t.Errorf("straggler flags count %d, want 12 (0.3 of 40)", got)
 	}
 }
 

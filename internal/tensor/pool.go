@@ -77,6 +77,16 @@ func NewPooled(shape ...int) *Tensor {
 	return &Tensor{shape: append([]int(nil), shape...), data: getBuf(n)}
 }
 
+// ClonePooled returns a deep copy like Clone, with the backing array drawn
+// from the workspace arena. Use it for copies whose lifetime the caller
+// controls (upload payloads, per-round snapshots) so they can be handed back
+// with Release instead of feeding the collector.
+func (t *Tensor) ClonePooled() *Tensor {
+	c := &Tensor{shape: append([]int(nil), t.shape...), data: getBuf(len(t.data))}
+	copy(c.data, t.data)
+	return c
+}
+
 // Release returns t's backing array to the workspace arena and clears t so
 // any later use panics instead of aliasing recycled memory. It must only be
 // called by the tensor's owner, and only when no view of the data (Reshape,
