@@ -15,13 +15,25 @@
 //	oasis-sweep -defenses "none;oasis:MR|dpsgd:1,0.1;ats:SH|prune:0.5"
 //	oasis-sweep -replicates 5 -cell-workers 8    # mean±std over 5 seeds, 8 cells in flight
 //	oasis-sweep -scenario base.json -workers 8 -out results
-//	oasis-sweep -quick -bench BENCH_sweep.json   # sequential-vs-parallel wall-clock
+//	oasis-sweep -quick -bench bench.json         # sequential-vs-parallel wall-clock
+//
+// The grid also runs across processes (see internal/dist): -serve turns the
+// process into the coordinator, leasing (cell, replicate) jobs to workers
+// and re-leasing when one dies; -worker turns it into a thin worker that
+// dials, runs leased cells, and streams results back. -checkpoint (serving
+// or single-process) appends every completed job to a JSONL file so an
+// interrupted sweep resumes without re-running finished work:
+//
+//	oasis-sweep -serve 127.0.0.1:9444 -checkpoint sweep.ckpt -out results
+//	oasis-sweep -worker 127.0.0.1:9444            # × as many processes as you like
 //
 // The report is deterministic: for a fixed seed the JSON is byte-identical
-// for every -workers and -cell-workers value.
+// for every -workers and -cell-workers value, for every worker-process
+// count, and across checkpoint resumes.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -33,6 +45,7 @@ import (
 
 	"github.com/oasisfl/oasis/internal/attack"
 	"github.com/oasisfl/oasis/internal/defense"
+	"github.com/oasisfl/oasis/internal/dist"
 	"github.com/oasisfl/oasis/internal/experiments"
 	"github.com/oasisfl/oasis/internal/obs"
 	"github.com/oasisfl/oasis/internal/sim"
@@ -61,8 +74,15 @@ func run() error {
 		quiet        = flag.Bool("q", false, "suppress per-cell progress")
 		tracePath    = flag.String("trace", "", "write a JSONL observability trace here (see internal/obs)")
 		httpAddr     = flag.String("http", "", "serve the obs debug endpoint (metrics + pprof) on this address, e.g. :6060")
+		serveAddr    = flag.String("serve", "", "coordinator mode: serve the grid to -worker processes on this TCP address")
+		workerAddr   = flag.String("worker", "", "worker mode: dial this coordinator and run leased cells (grid flags are ignored)")
+		ckptPath     = flag.String("checkpoint", "", "append completed jobs to this JSONL file and resume from it (serving or single-process)")
+		leaseTimeout = flag.Duration("lease-timeout", 0, "coordinator: re-queue a leased job after this long without a result (0 = 2m)")
 	)
 	flag.Parse()
+	if *serveAddr != "" && *workerAddr != "" {
+		return fmt.Errorf("-serve and -worker are mutually exclusive")
+	}
 
 	base := experiments.DefaultSweepScenario()
 	if *scenarioPath != "" {
@@ -95,7 +115,21 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	if *workerAddr != "" {
+		wcfg := dist.WorkerConfig{Addr: *workerAddr, Workers: *workers}
+		if !*quiet {
+			wcfg.Log = os.Stderr
+		}
+		err := dist.RunWorker(context.Background(), wcfg)
+		if _, traceErr := finish(); err == nil {
+			err = traceErr
+		}
+		return err
+	}
 	if *benchPath != "" {
+		if *ckptPath != "" {
+			return fmt.Errorf("-bench and -checkpoint are mutually exclusive (bench re-runs the grid twice)")
+		}
 		// Bench mode byte-compares the sequential and parallel legs, so the
 		// summary is never embedded — the trace file still records both legs.
 		err := runBench(cfg, *benchPath, *outDir)
@@ -104,7 +138,19 @@ func run() error {
 		}
 		return err
 	}
-	report, err := experiments.RunSweep(cfg)
+	var report *experiments.SweepReport
+	if *serveAddr != "" {
+		ccfg := dist.CoordinatorConfig{
+			Sweep: cfg, Addr: *serveAddr,
+			Checkpoint: *ckptPath, LeaseTimeout: *leaseTimeout,
+		}
+		if !*quiet {
+			ccfg.Log = os.Stderr
+		}
+		report, err = dist.RunCoordinator(context.Background(), ccfg)
+	} else {
+		report, err = runLocal(cfg, *ckptPath)
+	}
 	if err != nil {
 		finish() //nolint:errcheck // the sweep error takes precedence
 		dumpPartial(report, err)
@@ -120,6 +166,40 @@ func run() error {
 	fmt.Print(report.Table().String())
 	fmt.Print(report.CellTable().String())
 	return writeArtifacts(report, *outDir)
+}
+
+// runLocal executes the sweep in-process. With a checkpoint path it resumes
+// completed jobs from the file and streams every fresh result back into it —
+// the same JSONL format the dist coordinator writes — so a sweep that dies
+// on a cell failure (or a crash) resumes without re-running finished work.
+func runLocal(cfg experiments.SweepConfig, ckptPath string) (*experiments.SweepReport, error) {
+	if ckptPath == "" {
+		return experiments.RunSweep(cfg)
+	}
+	grid, err := experiments.NewSweepGrid(cfg)
+	if err != nil {
+		return nil, err
+	}
+	pre, err := dist.LoadCheckpoint(ckptPath, grid)
+	if err != nil {
+		return nil, err
+	}
+	ckpt, err := dist.OpenCheckpoint(ckptPath, grid)
+	if err != nil {
+		return nil, err
+	}
+	if len(pre) > 0 && cfg.Log != nil {
+		fmt.Fprintf(cfg.Log, "sweep: resumed %d/%d jobs from %s\n", len(pre), grid.NumJobs(), ckptPath)
+	}
+	cfg.Preloaded = pre
+	cfg.OnResult = func(r experiments.SweepJobResult) {
+		_ = ckpt.Append(r) // the first failure sticks; Close re-reports it
+	}
+	report, err := experiments.RunSweep(cfg)
+	if cerr := ckpt.Close(); err == nil {
+		err = cerr
+	}
+	return report, err
 }
 
 // dumpPartial prints the completed cells a failed sweep still returned, so

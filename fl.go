@@ -7,6 +7,7 @@ import (
 
 	"github.com/oasisfl/oasis/internal/attack"
 	"github.com/oasisfl/oasis/internal/data"
+	"github.com/oasisfl/oasis/internal/dist"
 	"github.com/oasisfl/oasis/internal/fl"
 	"github.com/oasisfl/oasis/internal/nn"
 	"github.com/oasisfl/oasis/internal/opt"
@@ -144,6 +145,35 @@ func ListenTCP(addr string) (*TCPServer, error) {
 // shutdown.
 func ServeTCP(ctx context.Context, addr string, client FLClient) error {
 	return fl.ServeTCP(ctx, addr, client)
+}
+
+// Distributed sweep surface: run one sweep grid across processes. The
+// coordinator leases (cell, replicate) jobs to workers over TCP, re-leases
+// on worker death or timeout, streams completed results to a JSONL
+// checkpoint for crash/resume, and merges in deterministic grid order — the
+// final SweepReport is byte-identical to an in-process RunSweep of the same
+// config, regardless of worker count, join order, or resume history.
+type (
+	// SweepCoordinatorConfig shapes the serving side of a distributed
+	// sweep: the grid, the listen address, the checkpoint path, and the
+	// lease timeout.
+	SweepCoordinatorConfig = dist.CoordinatorConfig
+	// SweepWorkerConfig shapes one worker process: the coordinator address
+	// and the deterministic dial/lease retry backoff.
+	SweepWorkerConfig = dist.WorkerConfig
+)
+
+// RunSweepCoordinator serves a sweep grid to remote workers until every job
+// completes (or ctx ends, returning the partial report with the context
+// error), then merges and returns the deterministic report.
+func RunSweepCoordinator(ctx context.Context, cfg SweepCoordinatorConfig) (*SweepReport, error) {
+	return dist.RunCoordinator(ctx, cfg)
+}
+
+// RunSweepWorker dials a sweep coordinator and runs leased jobs until the
+// grid completes (nil), ctx ends, or the bounded retry budget exhausts.
+func RunSweepWorker(ctx context.Context, cfg SweepWorkerConfig) error {
+	return dist.RunWorker(ctx, cfg)
 }
 
 // NewAttack calibrates a registered attack family by kind against a probe

@@ -1,0 +1,195 @@
+package dist
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"reflect"
+	"sync"
+
+	"github.com/oasisfl/oasis/internal/experiments"
+)
+
+// The JSONL checkpoint is the sweep's crash-survival format: one header line
+// describing the grid, then one result line per completed job, appended (and
+// fsynced) as results land. Because a job result carries exactly the
+// statistics the deterministic merge consumes — and float64s survive JSON
+// round trips bit-exactly — a grid resumed from a checkpoint produces a
+// SweepReport byte-identical to one that ran start-to-finish.
+//
+//	{"type":"header","schema":1,"scenario":"sweep-base","seed":42,...}
+//	{"type":"result","cell":0,"rep":0,"attack":"rtf","defense":"none",...}
+//	{"type":"result","cell":0,"rep":1,...}
+
+// CheckpointSchema identifies the checkpoint layout; bump when lines change
+// meaning.
+const CheckpointSchema = 1
+
+// checkpointHeader pins the grid a checkpoint belongs to. Loading validates
+// every field against the resumed grid, so results can never silently merge
+// into a different sweep.
+type checkpointHeader struct {
+	Type       string   `json:"type"`
+	Schema     int      `json:"schema"`
+	Scenario   string   `json:"scenario"`
+	Seed       uint64   `json:"seed"`
+	Replicates int      `json:"replicates"`
+	Attacks    []string `json:"attacks"`
+	Defenses   []string `json:"defenses"`
+	Quick      bool     `json:"quick"`
+}
+
+// checkpointResult is one completed job line.
+type checkpointResult struct {
+	Type string `json:"type"`
+	experiments.SweepJobResult
+}
+
+func headerFor(grid *experiments.SweepGrid) checkpointHeader {
+	return checkpointHeader{
+		Type:       "header",
+		Schema:     CheckpointSchema,
+		Scenario:   grid.Base.Name,
+		Seed:       grid.Base.Seed,
+		Replicates: grid.Replicates,
+		Attacks:    grid.Attacks,
+		Defenses:   grid.Defenses,
+		Quick:      grid.Quick,
+	}
+}
+
+// LoadCheckpoint reads the completed results a previous run left at path.
+// A missing file is an empty resume (nil, nil). The header must match the
+// grid exactly; a checkpoint from a different grid is an error, not a silent
+// partial merge. Failed results (Err != "") are dropped — resume retries
+// them. A torn final line (the process died mid-append) is tolerated and
+// ignored; corruption anywhere else is an error. When a job appears more
+// than once (a duplicate result raced a crash), the first occurrence wins —
+// occurrences are identical anyway, by determinism.
+func LoadCheckpoint(path string, grid *experiments.SweepGrid) ([]experiments.SweepJobResult, error) {
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("dist: checkpoint: %w", err)
+	}
+	lines := bytes.Split(raw, []byte("\n"))
+	// Trim trailing empty line(s) from the final newline.
+	for len(lines) > 0 && len(bytes.TrimSpace(lines[len(lines)-1])) == 0 {
+		lines = lines[:len(lines)-1]
+	}
+	if len(lines) == 0 {
+		return nil, nil
+	}
+	var hdr checkpointHeader
+	if err := json.Unmarshal(lines[0], &hdr); err != nil || hdr.Type != "header" {
+		return nil, fmt.Errorf("dist: checkpoint %s: first line is not a valid header", path)
+	}
+	if hdr.Schema != CheckpointSchema {
+		return nil, fmt.Errorf("dist: checkpoint %s: schema %d, want %d", path, hdr.Schema, CheckpointSchema)
+	}
+	if want := headerFor(grid); !reflect.DeepEqual(hdr, want) {
+		return nil, fmt.Errorf("dist: checkpoint %s belongs to a different grid (%s seed %d %v×%v, want %s seed %d %v×%v)",
+			path, hdr.Scenario, hdr.Seed, hdr.Attacks, hdr.Defenses,
+			want.Scenario, want.Seed, want.Attacks, want.Defenses)
+	}
+	var out []experiments.SweepJobResult
+	seen := make(map[int]bool)
+	for i, line := range lines[1:] {
+		var res checkpointResult
+		if err := json.Unmarshal(line, &res); err != nil || res.Type != "result" {
+			if i == len(lines)-2 {
+				break // torn final line from a mid-append crash; the job re-runs
+			}
+			return nil, fmt.Errorf("dist: checkpoint %s: corrupt line %d", path, i+2)
+		}
+		if err := grid.CheckResult(res.SweepJobResult); err != nil {
+			return nil, fmt.Errorf("dist: checkpoint %s line %d: %w", path, i+2, err)
+		}
+		if res.Err != "" {
+			continue
+		}
+		id := grid.JobID(res.Cell, res.Rep)
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		out = append(out, res.SweepJobResult)
+	}
+	obsResumed.Add(int64(len(out)))
+	return out, nil
+}
+
+// Checkpoint appends completed job results to a JSONL file, fsyncing each
+// line so a completed cell survives any crash that follows it. Append is
+// goroutine-safe.
+type Checkpoint struct {
+	mu   sync.Mutex
+	f    *os.File
+	werr error
+}
+
+// OpenCheckpoint opens (or creates) the checkpoint at path for appending,
+// writing the grid header when the file is new. An existing file must carry
+// a matching header — pass it through LoadCheckpoint first to both validate
+// it and collect its results.
+func OpenCheckpoint(path string, grid *experiments.SweepGrid) (*Checkpoint, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("dist: checkpoint: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("dist: checkpoint: %w", err)
+	}
+	c := &Checkpoint{f: f}
+	if st.Size() == 0 {
+		if err := c.writeLine(headerFor(grid)); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// Append records one completed job. The write is serialized and fsynced;
+// the first failure sticks and is re-reported by Close so a sweep cannot
+// silently lose its crash protection.
+func (c *Checkpoint) Append(r experiments.SweepJobResult) error {
+	return c.writeLine(checkpointResult{Type: "result", SweepJobResult: r})
+}
+
+func (c *Checkpoint) writeLine(v any) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.werr != nil {
+		return c.werr
+	}
+	raw, err := json.Marshal(v)
+	if err == nil {
+		raw = append(raw, '\n')
+		if _, err = c.f.Write(raw); err == nil {
+			err = c.f.Sync()
+		}
+	}
+	if err != nil {
+		c.werr = fmt.Errorf("dist: checkpoint append: %w", err)
+		return c.werr
+	}
+	return nil
+}
+
+// Close releases the file, returning the first append error if any write
+// failed.
+func (c *Checkpoint) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	err := c.f.Close()
+	if c.werr != nil {
+		return c.werr
+	}
+	return err
+}

@@ -1,0 +1,380 @@
+package dist
+
+import (
+	"context"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/oasisfl/oasis/internal/experiments"
+	"github.com/oasisfl/oasis/internal/obs"
+)
+
+// CoordinatorConfig shapes a distributed sweep's serving side.
+type CoordinatorConfig struct {
+	// Sweep is the grid to evaluate — the same config RunSweep takes.
+	// CellWorkers is ignored (the worker fleet is the pool); Workers and
+	// Quick travel inside every lease so all workers run cells identically.
+	Sweep experiments.SweepConfig
+	// Addr is the TCP listen address, e.g. "127.0.0.1:9444" ("127.0.0.1:0"
+	// for an ephemeral port — read it back with Coordinator.Addr).
+	Addr string
+	// Checkpoint is the JSONL file completed jobs stream to; non-empty
+	// enables crash/resume. An existing file must describe the same grid;
+	// its completed jobs are not re-run.
+	Checkpoint string
+	// LeaseTimeout bounds how long a worker may hold a job before the
+	// coordinator re-queues it for someone else. Zero means 2 minutes.
+	// Too short only wastes duplicate work — correctness never depends on
+	// it, because results merge idempotently.
+	LeaseTimeout time.Duration
+	// ExchangeTimeout bounds one non-blocking protocol exchange (hello,
+	// lease write). Zero means 30 seconds.
+	ExchangeTimeout time.Duration
+	// Log receives progress lines; nil discards them.
+	Log io.Writer
+}
+
+// Coordinator runs a sweep grid across remote workers: it enumerates the
+// grid's jobs, leases them over TCP, re-leases on worker death or timeout,
+// streams completed results to the checkpoint, and performs the same
+// deterministic grid-order merge as in-process RunSweep.
+type Coordinator struct {
+	cfg  CoordinatorConfig
+	grid *experiments.SweepGrid
+	ln   net.Listener
+	ckpt *Checkpoint
+	span *obs.Span
+	ctx  context.Context
+
+	mu       sync.Mutex
+	queue    []int             // pending job IDs, FIFO
+	leased   map[int]time.Time // job ID → lease expiry
+	results  []*experiments.SweepJobResult
+	done     int
+	workers  int
+	cond     *sync.Cond    // guards queue/done transitions
+	finished chan struct{} // closed when every job has a result
+
+	handlers sync.WaitGroup
+}
+
+// StartCoordinator validates the grid, loads the checkpoint, binds the
+// listener, and begins serving workers in the background. Call Wait for the
+// final report.
+func StartCoordinator(ctx context.Context, cfg CoordinatorConfig) (*Coordinator, error) {
+	if cfg.LeaseTimeout <= 0 {
+		cfg.LeaseTimeout = 2 * time.Minute
+	}
+	if cfg.ExchangeTimeout <= 0 {
+		cfg.ExchangeTimeout = 30 * time.Second
+	}
+	grid, err := experiments.NewSweepGrid(cfg.Sweep)
+	if err != nil {
+		return nil, err
+	}
+	c := &Coordinator{
+		cfg:      cfg,
+		grid:     grid,
+		leased:   make(map[int]time.Time),
+		results:  make([]*experiments.SweepJobResult, grid.NumJobs()),
+		finished: make(chan struct{}),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	if cfg.Checkpoint != "" {
+		loaded, err := LoadCheckpoint(cfg.Checkpoint, grid)
+		if err != nil {
+			return nil, err
+		}
+		for i := range loaded {
+			c.results[grid.JobID(loaded[i].Cell, loaded[i].Rep)] = &loaded[i]
+			c.done++
+		}
+		if c.ckpt, err = OpenCheckpoint(cfg.Checkpoint, grid); err != nil {
+			return nil, err
+		}
+		if len(loaded) > 0 {
+			c.logf("resumed %d/%d jobs from %s", len(loaded), grid.NumJobs(), cfg.Checkpoint)
+		}
+	}
+	for id := 0; id < grid.NumJobs(); id++ {
+		if c.results[id] == nil {
+			c.queue = append(c.queue, id)
+		}
+	}
+	ctx, c.span = obs.Start(ctx, "dist.serve",
+		obs.String("scenario", grid.Base.Name), obs.Int("jobs", grid.NumJobs()),
+		obs.Int("resumed", c.done))
+	c.ctx = ctx
+	if c.done == grid.NumJobs() {
+		close(c.finished) // fully-checkpointed grid: nothing to serve
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		c.closeCkpt()
+		c.span.End()
+		return nil, fmt.Errorf("dist: listen %s: %w", cfg.Addr, err)
+	}
+	c.ln = ln
+	go c.acceptLoop()
+	go c.watchdog(ctx)
+	// Wake any handler blocked in acquire when the caller cancels.
+	stop := context.AfterFunc(ctx, func() { c.cond.Broadcast() })
+	go func() { <-c.finished; stop(); c.cond.Broadcast() }()
+	return c, nil
+}
+
+// RunCoordinator is StartCoordinator + Wait: serve the grid until every job
+// has a result (or ctx ends), then merge and return the report. The report
+// is byte-identical to an in-process RunSweep of the same config, regardless
+// of worker count, join order, or crash/resume history.
+func RunCoordinator(ctx context.Context, cfg CoordinatorConfig) (*experiments.SweepReport, error) {
+	c, err := StartCoordinator(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return c.Wait(ctx)
+}
+
+// Addr returns the bound listener address (useful with ":0").
+func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
+
+// Wait blocks until the grid is complete or ctx ends, then tears the
+// listener down (workers get goodbyes) and merges. On cancellation the
+// partial report of completed cells is returned with the context error.
+func (c *Coordinator) Wait(ctx context.Context) (*experiments.SweepReport, error) {
+	var cancelErr error
+	select {
+	case <-c.finished:
+	case <-ctx.Done():
+		cancelErr = ctx.Err()
+	case <-c.ctx.Done():
+		cancelErr = c.ctx.Err()
+	}
+	c.ln.Close() // stops accepts; handlers drain and say goodbye
+	c.cond.Broadcast()
+	c.handlers.Wait()
+	if err := c.closeCkpt(); err != nil && cancelErr == nil {
+		cancelErr = err
+	}
+	c.span.End()
+	c.mu.Lock()
+	results := append([]*experiments.SweepJobResult(nil), c.results...)
+	c.mu.Unlock()
+	report, mergeErr := c.grid.Merge(results)
+	if cancelErr != nil {
+		return report, fmt.Errorf("dist: coordinator interrupted: %w", cancelErr)
+	}
+	return report, mergeErr
+}
+
+func (c *Coordinator) closeCkpt() error {
+	if c.ckpt == nil {
+		return nil
+	}
+	err := c.ckpt.Close()
+	c.ckpt = nil
+	return err
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.cfg.Log != nil {
+		fmt.Fprintf(c.cfg.Log, "dist: "+format+"\n", args...)
+	}
+}
+
+func (c *Coordinator) acceptLoop() {
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		c.handlers.Add(1)
+		go func() {
+			defer c.handlers.Done()
+			c.handle(conn)
+		}()
+	}
+}
+
+// watchdog returns expired leases to the queue. A slow-but-alive worker's
+// job may get leased twice; the second result is dropped idempotently, so
+// expiry can only waste work, never corrupt the report.
+func (c *Coordinator) watchdog(ctx context.Context) {
+	tick := time.NewTicker(max(c.cfg.LeaseTimeout/4, 10*time.Millisecond))
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-c.finished:
+			return
+		case now := <-tick.C:
+			c.mu.Lock()
+			for id, expiry := range c.leased {
+				if now.After(expiry) {
+					delete(c.leased, id)
+					c.queue = append(c.queue, id)
+					obsReleased.Inc()
+					c.logf("lease on job %d expired; re-queued", id)
+				}
+			}
+			c.cond.Broadcast()
+			c.mu.Unlock()
+		}
+	}
+}
+
+// acquire blocks until a job can be leased, the grid finishes, or the
+// context ends. It returns (-1, false) when the worker should be told
+// goodbye.
+func (c *Coordinator) acquire(workerID string) (int, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		if c.done == c.grid.NumJobs() || c.ctx.Err() != nil {
+			return -1, false
+		}
+		for len(c.queue) > 0 {
+			id := c.queue[0]
+			c.queue = c.queue[1:]
+			if c.results[id] != nil {
+				continue // completed while queued (duplicate lease path)
+			}
+			c.leased[id] = time.Now().Add(c.cfg.LeaseTimeout)
+			obsLeases.Inc()
+			return id, true
+		}
+		// Everything outstanding is leased to other workers: wait for a
+		// completion, an expiry re-queue, or shutdown.
+		c.cond.Wait()
+	}
+}
+
+// release returns an un-completed leased job to the queue (its worker's
+// connection broke).
+func (c *Coordinator) release(id int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, held := c.leased[id]; !held || c.results[id] != nil {
+		return
+	}
+	delete(c.leased, id)
+	c.queue = append(c.queue, id)
+	obsReleased.Inc()
+	c.cond.Broadcast()
+}
+
+// complete merges one result idempotently: the first result for a job wins
+// (and is checkpointed); later duplicates — a re-leased job finished twice —
+// are dropped. Results that fail grid validation are discarded.
+func (c *Coordinator) complete(res experiments.SweepJobResult, workerID string) {
+	if err := c.grid.CheckResult(res); err != nil {
+		obsBadResults.Inc()
+		c.logf("discarding invalid result from %s: %v", workerID, err)
+		return
+	}
+	id := c.grid.JobID(res.Cell, res.Rep)
+	c.mu.Lock()
+	if c.results[id] != nil {
+		c.mu.Unlock()
+		obsDupResults.Inc()
+		c.logf("duplicate result for job %d from %s dropped", id, workerID)
+		return
+	}
+	c.results[id] = &res
+	delete(c.leased, id)
+	c.done++
+	finished := c.done == c.grid.NumJobs()
+	ckpt := c.ckpt
+	c.mu.Unlock()
+	if ckpt != nil {
+		if err := ckpt.Append(res); err != nil {
+			c.logf("%v", err)
+		}
+	}
+	if res.Err == "" {
+		c.logf("job %d (%s × %s, seed %d) from %s: %d recon, PSNR %.1f dB",
+			id, res.Attack, res.Defense, res.Seed, workerID, res.Reconstructions, res.PSNR)
+	} else {
+		c.logf("job %d (%s × %s, seed %d) from %s failed: %s",
+			id, res.Attack, res.Defense, res.Seed, workerID, res.Err)
+	}
+	c.mu.Lock()
+	if finished {
+		close(c.finished)
+	}
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// handle speaks the protocol with one worker connection: hello, then
+// lease/result exchanges until the grid completes. Any decode error — a
+// malformed gob stream, a truncated message, a dead peer — drops the
+// connection and returns the in-flight lease to the queue.
+func (c *Coordinator) handle(conn net.Conn) {
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	_ = conn.SetReadDeadline(time.Now().Add(c.cfg.ExchangeTimeout))
+	var hello wireHello
+	if err := dec.Decode(&hello); err != nil || hello.WorkerID == "" {
+		return // not a worker; nothing was leased
+	}
+	_ = conn.SetReadDeadline(time.Time{})
+	c.mu.Lock()
+	c.workers++
+	obsWorkersNow.Set(float64(c.workers))
+	c.mu.Unlock()
+	c.logf("worker %s connected", hello.WorkerID)
+	defer func() {
+		c.mu.Lock()
+		c.workers--
+		obsWorkersNow.Set(float64(c.workers))
+		c.mu.Unlock()
+	}()
+	// Unblock a pending exchange when the run is cancelled.
+	stop := context.AfterFunc(c.ctx, func() { _ = conn.SetDeadline(time.Now()) })
+	defer stop()
+	for {
+		id, ok := c.acquire(hello.WorkerID)
+		if !ok {
+			_ = conn.SetWriteDeadline(time.Now().Add(c.cfg.ExchangeTimeout))
+			_ = enc.Encode(wireCoordMsg{Goodbye: true})
+			return
+		}
+		lease := wireLease{
+			Job:      c.grid.Job(id),
+			Scenario: c.grid.JobScenario(id),
+			Quick:    c.grid.Quick,
+			Workers:  c.grid.Workers,
+		}
+		_ = conn.SetWriteDeadline(time.Now().Add(c.cfg.ExchangeTimeout))
+		if err := enc.Encode(wireCoordMsg{Lease: &lease}); err != nil {
+			c.release(id)
+			return
+		}
+		_ = conn.SetWriteDeadline(time.Time{})
+		// The worker is now computing: allow the full lease window plus
+		// slack before declaring the connection dead.
+		_ = conn.SetReadDeadline(time.Now().Add(c.cfg.LeaseTimeout + c.cfg.ExchangeTimeout))
+		var reply wireResult
+		if err := dec.Decode(&reply); err != nil {
+			c.release(id)
+			c.logf("worker %s dropped mid-lease (job %d re-queued): %v", hello.WorkerID, id, err)
+			return
+		}
+		_ = conn.SetReadDeadline(time.Time{})
+		c.complete(reply.Result, hello.WorkerID)
+		// A result for some other job (a late duplicate) leaves the leased
+		// job unanswered — put it straight back rather than waiting for the
+		// watchdog.
+		if c.grid.JobID(reply.Result.Cell, reply.Result.Rep) != id ||
+			c.grid.CheckResult(reply.Result) != nil {
+			c.release(id)
+		}
+	}
+}

@@ -1,0 +1,489 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"encoding/json"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/oasisfl/oasis/internal/experiments"
+	"github.com/oasisfl/oasis/internal/sim"
+)
+
+// testSweep is the tiny grid every dist test evaluates: 2 attacks × 2
+// defenses × 2 replicates = 8 jobs, quick cap, serial inside each cell.
+func testSweep() experiments.SweepConfig {
+	return experiments.SweepConfig{
+		Attacks:    []string{"rtf", "qbi"},
+		Defenses:   []string{"none", "prune:0.3"},
+		Replicates: 2,
+		Workers:    1,
+		Quick:      true,
+	}
+}
+
+// serialGolden runs the grid in-process at CellWorkers 1 — the byte-identity
+// reference every distributed run is compared against.
+func serialGolden(t *testing.T) []byte {
+	t.Helper()
+	cfg := testSweep()
+	cfg.CellWorkers = 1
+	rep, err := experiments.RunSweep(cfg)
+	if err != nil {
+		t.Fatalf("serial sweep: %v", err)
+	}
+	raw, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+func startTestCoordinator(t *testing.T, ctx context.Context, cfg CoordinatorConfig) *Coordinator {
+	t.Helper()
+	if cfg.Sweep.Attacks == nil {
+		cfg.Sweep = testSweep()
+	}
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	c, err := StartCoordinator(ctx, cfg)
+	if err != nil {
+		t.Fatalf("StartCoordinator: %v", err)
+	}
+	return c
+}
+
+// TestDistributedByteIdentity is the subsystem's acceptance bar: a
+// coordinator with two concurrent workers must produce report JSON
+// byte-identical to the serial in-process run.
+func TestDistributedByteIdentity(t *testing.T) {
+	golden := serialGolden(t)
+	ctx := context.Background()
+	c := startTestCoordinator(t, ctx, CoordinatorConfig{})
+	var wg sync.WaitGroup
+	for _, id := range []string{"w1", "w2"} {
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			if err := RunWorker(ctx, WorkerConfig{Addr: c.Addr(), ID: id, BaseBackoff: time.Millisecond}); err != nil {
+				t.Errorf("worker %s: %v", id, err)
+			}
+		}(id)
+	}
+	rep, err := c.Wait(ctx)
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	wg.Wait()
+	raw, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(golden, raw) {
+		t.Fatalf("distributed report diverges from serial:\n%s\nvs\n%s", raw, golden)
+	}
+}
+
+// rawClient speaks the wire protocol by hand, for protocol-abuse tests.
+type rawClient struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+func dialRaw(t *testing.T, addr string) *rawClient {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	return &rawClient{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+}
+
+func (r *rawClient) hello(t *testing.T, id string) {
+	t.Helper()
+	if err := r.enc.Encode(wireHello{WorkerID: id}); err != nil {
+		t.Fatalf("hello: %v", err)
+	}
+}
+
+func (r *rawClient) lease(t *testing.T) wireLease {
+	t.Helper()
+	var msg wireCoordMsg
+	if err := r.dec.Decode(&msg); err != nil {
+		t.Fatalf("decode lease: %v", err)
+	}
+	if msg.Goodbye || msg.Lease == nil {
+		t.Fatalf("expected a lease, got goodbye")
+	}
+	return *msg.Lease
+}
+
+// TestWorkerKillMidGridReleases kills a worker that holds a lease and checks
+// the job is re-leased to a healthy worker, with the final report still
+// byte-identical to serial.
+func TestWorkerKillMidGridReleases(t *testing.T) {
+	golden := serialGolden(t)
+	ctx := context.Background()
+	c := startTestCoordinator(t, ctx, CoordinatorConfig{})
+	// The doomed worker takes one lease and dies without answering.
+	doomed := dialRaw(t, c.Addr())
+	doomed.hello(t, "doomed")
+	_ = doomed.lease(t)
+	doomed.conn.Close() // connection break → immediate re-queue
+	done := make(chan error, 1)
+	go func() {
+		done <- RunWorker(ctx, WorkerConfig{Addr: c.Addr(), ID: "healthy", BaseBackoff: time.Millisecond})
+	}()
+	rep, err := c.Wait(ctx)
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("healthy worker: %v", err)
+	}
+	raw, _ := rep.JSON()
+	if !bytes.Equal(golden, raw) {
+		t.Fatalf("report diverges after mid-grid worker kill:\n%s\nvs\n%s", raw, golden)
+	}
+}
+
+// TestDuplicateResultDropped submits the same job result twice (the second
+// time against a lease for a different job) and checks the duplicate is
+// dropped, the unanswered lease is re-queued, and the report stays
+// byte-identical.
+func TestDuplicateResultDropped(t *testing.T) {
+	golden := serialGolden(t)
+	ctx := context.Background()
+	c := startTestCoordinator(t, ctx, CoordinatorConfig{})
+	rc := dialRaw(t, c.Addr())
+	rc.hello(t, "dup")
+	l1 := rc.lease(t)
+	res := experiments.RunSweepJob(ctx, l1.Job, l1.Scenario, sim.Options{Quick: l1.Quick, Workers: 1})
+	if err := rc.enc.Encode(wireResult{Result: res}); err != nil {
+		t.Fatalf("send result: %v", err)
+	}
+	l2 := rc.lease(t)
+	if l2.Job.ID == l1.Job.ID {
+		t.Fatalf("second lease re-issued job %d", l1.Job.ID)
+	}
+	// Answer the second lease with the first job's result again: a duplicate
+	// for an already-merged job. The coordinator must drop it and put the
+	// second job back in the queue.
+	if err := rc.enc.Encode(wireResult{Result: res}); err != nil {
+		t.Fatalf("send duplicate: %v", err)
+	}
+	l3 := rc.lease(t) // protocol continues; the dup did not wedge the session
+	if l3.Job.ID == l1.Job.ID {
+		t.Fatalf("duplicate result re-opened job %d", l1.Job.ID)
+	}
+	rc.conn.Close()
+	go RunWorker(ctx, WorkerConfig{Addr: c.Addr(), ID: "finisher", BaseBackoff: time.Millisecond}) //nolint:errcheck
+	rep, err := c.Wait(ctx)
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	raw, _ := rep.JSON()
+	if !bytes.Equal(golden, raw) {
+		t.Fatalf("report diverges after duplicate result:\n%s\nvs\n%s", raw, golden)
+	}
+}
+
+// TestMalformedStreams throws garbage at the coordinator — before the hello
+// and in place of a result — and checks both connections are dropped without
+// wedging the grid or corrupting the report.
+func TestMalformedStreams(t *testing.T) {
+	golden := serialGolden(t)
+	ctx := context.Background()
+	c := startTestCoordinator(t, ctx, CoordinatorConfig{ExchangeTimeout: time.Second})
+	// Garbage instead of a hello: dropped before anything is leased.
+	junk, err := net.Dial("tcp", c.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	junk.Write([]byte("GET / HTTP/1.1\r\n\r\n")) //nolint:errcheck
+	junk.Close()
+	// Valid hello, then a truncated/garbage reply in place of the result:
+	// the lease must return to the queue.
+	rc := dialRaw(t, c.Addr())
+	rc.hello(t, "garbler")
+	_ = rc.lease(t)
+	rc.conn.Write([]byte{0xff, 0x00, 0x13, 0x37}) //nolint:errcheck
+	rc.conn.Close()
+	go RunWorker(ctx, WorkerConfig{Addr: c.Addr(), ID: "cleaner", BaseBackoff: time.Millisecond}) //nolint:errcheck
+	rep, err := c.Wait(ctx)
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	raw, _ := rep.JSON()
+	if !bytes.Equal(golden, raw) {
+		t.Fatalf("report diverges after malformed streams:\n%s\nvs\n%s", raw, golden)
+	}
+}
+
+// TestLeaseTimeoutRequeues checks the watchdog path: a worker that accepts a
+// lease and stalls (without dying) has its job re-leased after LeaseTimeout,
+// and the stalled worker's eventual silence doesn't block completion.
+func TestLeaseTimeoutRequeues(t *testing.T) {
+	golden := serialGolden(t)
+	ctx := context.Background()
+	c := startTestCoordinator(t, ctx, CoordinatorConfig{
+		LeaseTimeout:    50 * time.Millisecond,
+		ExchangeTimeout: 200 * time.Millisecond,
+	})
+	stalled := dialRaw(t, c.Addr())
+	stalled.hello(t, "stalled")
+	_ = stalled.lease(t) // hold the lease and never answer
+	defer stalled.conn.Close()
+	go RunWorker(ctx, WorkerConfig{Addr: c.Addr(), ID: "live", BaseBackoff: time.Millisecond}) //nolint:errcheck
+	rep, err := c.Wait(ctx)
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	raw, _ := rep.JSON()
+	if !bytes.Equal(golden, raw) {
+		t.Fatalf("report diverges after lease-timeout re-queue:\n%s\nvs\n%s", raw, golden)
+	}
+}
+
+// TestCheckpointResume interrupts a distributed run after a few completed
+// jobs, then resumes from the checkpoint with a fresh coordinator: completed
+// jobs are not re-run (the file gains no duplicate lines) and the final
+// report is byte-identical to serial.
+func TestCheckpointResume(t *testing.T) {
+	golden := serialGolden(t)
+	ckpt := filepath.Join(t.TempDir(), "sweep.ckpt")
+	ctx := context.Background()
+
+	// Phase 1: complete exactly 3 of the 8 jobs by hand, then vanish.
+	c1 := startTestCoordinator(t, ctx, CoordinatorConfig{Checkpoint: ckpt})
+	rc := dialRaw(t, c1.Addr())
+	rc.hello(t, "partial")
+	for i := 0; i < 3; i++ {
+		l := rc.lease(t)
+		res := experiments.RunSweepJob(ctx, l.Job, l.Scenario, sim.Options{Quick: l.Quick, Workers: 1})
+		if err := rc.enc.Encode(wireResult{Result: res}); err != nil {
+			t.Fatalf("send result %d: %v", i, err)
+		}
+	}
+	// Strict alternation means the 3rd result is only known-processed once
+	// the next lease arrives.
+	l4 := rc.lease(t)
+	rc.conn.Close()
+	cctx, cancel := context.WithCancel(ctx)
+	cancel() // simulate the crash: abandon the run
+	if _, err := c1.Wait(cctx); err == nil {
+		t.Fatal("interrupted Wait returned nil error")
+	}
+	_ = l4
+
+	// Phase 2: resume. The 3 checkpointed jobs must not run again.
+	c2 := startTestCoordinator(t, ctx, CoordinatorConfig{Checkpoint: ckpt})
+	go RunWorker(ctx, WorkerConfig{Addr: c2.Addr(), ID: "resumer", BaseBackoff: time.Millisecond}) //nolint:errcheck
+	rep, err := c2.Wait(ctx)
+	if err != nil {
+		t.Fatalf("resumed Wait: %v", err)
+	}
+	raw, _ := rep.JSON()
+	if !bytes.Equal(golden, raw) {
+		t.Fatalf("resumed report diverges from serial:\n%s\nvs\n%s", raw, golden)
+	}
+	data, err := os.ReadFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimSpace(data), []byte("\n"))
+	if want := 1 + 8; len(lines) != want { // header + one line per job, no duplicates
+		t.Fatalf("checkpoint has %d lines, want %d:\n%s", len(lines), want, data)
+	}
+
+	// Phase 3: a fully-checkpointed grid needs no workers at all.
+	c3 := startTestCoordinator(t, ctx, CoordinatorConfig{Checkpoint: ckpt})
+	rep3, err := c3.Wait(ctx)
+	if err != nil {
+		t.Fatalf("fully-resumed Wait: %v", err)
+	}
+	raw3, _ := rep3.JSON()
+	if !bytes.Equal(golden, raw3) {
+		t.Fatalf("fully-resumed report diverges from serial")
+	}
+}
+
+// TestLoadCheckpointValidation pins the checkpoint loader's failure modes:
+// missing file, foreign grid, corrupt interior line, torn final line, failed
+// and duplicate result lines.
+func TestLoadCheckpointValidation(t *testing.T) {
+	grid, err := experiments.NewSweepGrid(testSweep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+
+	if res, err := LoadCheckpoint(filepath.Join(dir, "absent.ckpt"), grid); err != nil || res != nil {
+		t.Fatalf("missing file: got %v, %v; want nil, nil", res, err)
+	}
+
+	// Build a real checkpoint with two results to splice test files from.
+	real := filepath.Join(dir, "real.ckpt")
+	ck, err := OpenCheckpoint(real, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	res0 := grid.RunJob(ctx, 0)
+	res1 := grid.RunJob(ctx, 1)
+	if err := ck.Append(res0); err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.Append(res1); err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(real)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimSpace(raw), []byte("\n"))
+	if len(lines) != 3 {
+		t.Fatalf("seed checkpoint has %d lines, want 3", len(lines))
+	}
+	write := func(name string, lines ...[]byte) string {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, append(bytes.Join(lines, []byte("\n")), '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	loaded, err := LoadCheckpoint(real, grid)
+	if err != nil || len(loaded) != 2 {
+		t.Fatalf("real checkpoint: %d results, err %v; want 2, nil", len(loaded), err)
+	}
+
+	// A checkpoint from a different grid must be rejected outright.
+	other := testSweep()
+	other.Replicates = 3
+	otherGrid, err := experiments.NewSweepGrid(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(real, otherGrid); err == nil || !strings.Contains(err.Error(), "different grid") {
+		t.Fatalf("foreign grid: err %v, want a different-grid rejection", err)
+	}
+
+	// Torn final line (mid-append crash) is tolerated; that job re-runs.
+	torn := write("torn.ckpt", lines[0], lines[1], lines[2][:len(lines[2])/2])
+	if loaded, err := LoadCheckpoint(torn, grid); err != nil || len(loaded) != 1 {
+		t.Fatalf("torn final line: %d results, err %v; want 1, nil", len(loaded), err)
+	}
+
+	// The same corruption anywhere else is an error.
+	corrupt := write("corrupt.ckpt", lines[0], lines[1][:len(lines[1])/2], lines[2])
+	if _, err := LoadCheckpoint(corrupt, grid); err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("corrupt interior line: err %v, want corruption error", err)
+	}
+
+	// Failed results are dropped (resume retries them); duplicates keep the
+	// first occurrence.
+	failed := res0
+	failed.Err = "transient"
+	failedLine, _ := json.Marshal(checkpointResult{Type: "result", SweepJobResult: failed})
+	mixed := write("mixed.ckpt", lines[0], failedLine, lines[2], lines[2])
+	if loaded, err := LoadCheckpoint(mixed, grid); err != nil || len(loaded) != 1 || loaded[0].Cell != res1.Cell || loaded[0].Rep != res1.Rep {
+		t.Fatalf("failed+duplicate lines: %+v, err %v; want just job 1", loaded, err)
+	}
+}
+
+// TestBackoffSchedule pins the worker's deterministic retry delays: doubling
+// from base, capped at max, no jitter.
+func TestBackoffSchedule(t *testing.T) {
+	base, maxD := 100*time.Millisecond, 5*time.Second
+	want := []time.Duration{
+		100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond,
+		800 * time.Millisecond, 1600 * time.Millisecond, 3200 * time.Millisecond,
+		5 * time.Second, 5 * time.Second, 5 * time.Second,
+	}
+	for i, w := range want {
+		if got := Backoff(base, maxD, i+1); got != w {
+			t.Errorf("Backoff(attempt %d) = %v, want %v", i+1, got, w)
+		}
+	}
+	if got := Backoff(base, maxD, 0); got != 0 {
+		t.Errorf("Backoff(attempt 0) = %v, want 0", got)
+	}
+	// A huge attempt count must not overflow past the cap.
+	if got := Backoff(base, maxD, 80); got != maxD {
+		t.Errorf("Backoff(attempt 80) = %v, want the %v cap", got, maxD)
+	}
+}
+
+// TestWorkerGivesUpAfterAttempts checks the bounded retry budget against a
+// coordinator that refuses every connection.
+func TestWorkerGivesUpAfterAttempts(t *testing.T) {
+	addr := refusedAddr(t)
+	start := time.Now()
+	err := RunWorker(context.Background(), WorkerConfig{
+		Addr: addr, ID: "hopeless",
+		Attempts: 3, BaseBackoff: time.Millisecond, MaxBackoff: 4 * time.Millisecond,
+	})
+	if err == nil || !strings.Contains(err.Error(), "giving up after 3 attempts") {
+		t.Fatalf("err = %v, want a giving-up error after 3 attempts", err)
+	}
+	// Attempts 1 and 2 sleep 1ms and 2ms before attempt 3 fails for good.
+	if elapsed := time.Since(start); elapsed < 3*time.Millisecond {
+		t.Fatalf("gave up after %v, before the 3ms the backoff schedule mandates", elapsed)
+	}
+}
+
+// TestWorkerRetriesUntilCoordinatorUp starts the worker first, lets it burn
+// refused connections through the backoff schedule, then brings the
+// coordinator up on the promised address: the worker must connect and finish
+// the grid, byte-identical to serial.
+func TestWorkerRetriesUntilCoordinatorUp(t *testing.T) {
+	golden := serialGolden(t)
+	addr := refusedAddr(t)
+	ctx := context.Background()
+	workerDone := make(chan error, 1)
+	go func() {
+		workerDone <- RunWorker(ctx, WorkerConfig{
+			Addr: addr, ID: "early-bird",
+			Attempts: 50, BaseBackoff: 2 * time.Millisecond, MaxBackoff: 20 * time.Millisecond,
+		})
+	}()
+	time.Sleep(30 * time.Millisecond) // several refused dials land here
+	c := startTestCoordinator(t, ctx, CoordinatorConfig{Addr: addr})
+	rep, err := c.Wait(ctx)
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if err := <-workerDone; err != nil {
+		t.Fatalf("worker: %v", err)
+	}
+	raw, _ := rep.JSON()
+	if !bytes.Equal(golden, raw) {
+		t.Fatalf("report diverges after retried start:\n%s\nvs\n%s", raw, golden)
+	}
+}
+
+// refusedAddr reserves a localhost port and closes it again, yielding an
+// address that refuses connections until a test binds it.
+func refusedAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}

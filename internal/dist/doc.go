@@ -1,0 +1,53 @@
+// Package dist runs a sweep grid across processes: a coordinator leases
+// (cell, replicate) jobs to thin workers over a gob/TCP protocol, streams
+// every completed result to a JSONL checkpoint, and merges in deterministic
+// grid order so the final SweepReport is byte-identical to an in-process
+// experiments.RunSweep of the same config — regardless of worker count, join
+// order, or crash/resume history.
+//
+// # Lease lifecycle
+//
+// Every job is in exactly one of three states: queued, leased, or done.
+//
+//	queued ── worker asks ──▶ leased ── result arrives ──▶ done
+//	  ▲                         │
+//	  └── connection breaks ────┤
+//	  └── lease timeout expires ┘
+//
+// A lease carries the fully-materialized scenario, so workers never
+// enumerate the grid — they dial, say hello, and run whatever arrives.
+// The coordinator detects a dead worker two ways: the connection breaks
+// (immediate re-queue) or the lease outlives LeaseTimeout (the watchdog
+// re-queues it). Both paths can only duplicate work, never corrupt the
+// report: results self-identify by (cell, rep), completion is idempotent
+// (first result wins, duplicates are counted and dropped), and a replicate's
+// statistics are scheduling-independent, so two runs of the same job return
+// identical numbers.
+//
+// # Checkpoint format
+//
+// The checkpoint is JSON Lines: a header pinning the grid (scenario name,
+// seed, axes, replicate count, quick flag), then one result line per
+// completed job, appended and fsynced as results land. On resume the header
+// must match the grid exactly; completed jobs are trusted and not re-run,
+// failed lines (err set) are dropped so transient failures retry, and a torn
+// final line from a mid-append crash is tolerated. Because encoding/json
+// round-trips float64 bit-exactly, a resumed grid's report matches an
+// uninterrupted run byte for byte.
+//
+// # Determinism contract
+//
+// Byte-identical output holds because all three layers are
+// scheduling-independent:
+//
+//  1. the grid layout (job → cell, replicate, seed) depends only on the
+//     config (experiments.SweepGrid),
+//  2. each job's statistics depend only on its scenario and seed
+//     (sim.RunContext is deterministic for a fixed seed), and
+//  3. the merge folds results in grid order, ignoring arrival order
+//     (experiments.SweepGrid.Merge).
+//
+// The transport can therefore reorder, duplicate, or replay anything
+// without observable effect. Only instrumentation (internal/obs spans and
+// counters) varies between runs, and obs never touches report bytes.
+package dist

@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// preloadTestConfig is the tiny grid the preload/OnResult tests run: 2×2
+// cells × 2 replicates = 8 jobs.
+func preloadTestConfig() SweepConfig {
+	return SweepConfig{
+		Attacks:    []string{"rtf", "qbi"},
+		Defenses:   []string{"none", "prune:0.3"},
+		Replicates: 2,
+		Workers:    1,
+		Quick:      true,
+	}
+}
+
+// TestSweepOnResultAndPreload checks the checkpoint extension points:
+// OnResult sees every fresh job exactly once, a fully-preloaded sweep runs
+// nothing and still produces byte-identical JSON, and a half-preloaded sweep
+// re-runs exactly the missing jobs.
+func TestSweepOnResultAndPreload(t *testing.T) {
+	cfg := preloadTestConfig()
+	var streamed []SweepJobResult
+	cfg.OnResult = func(r SweepJobResult) { streamed = append(streamed, r) }
+	rep, err := RunSweep(cfg)
+	if err != nil {
+		t.Fatalf("RunSweep: %v", err)
+	}
+	golden, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, err := NewSweepGrid(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) != grid.NumJobs() {
+		t.Fatalf("OnResult saw %d results, want %d", len(streamed), grid.NumJobs())
+	}
+	seen := map[int]bool{}
+	for _, r := range streamed {
+		id := grid.JobID(r.Cell, r.Rep)
+		if seen[id] {
+			t.Fatalf("OnResult saw job %d twice", id)
+		}
+		seen[id] = true
+	}
+
+	// Fully preloaded: no job runs, the report is byte-identical anyway.
+	full := preloadTestConfig()
+	full.Preloaded = streamed
+	ran := 0
+	full.OnResult = func(SweepJobResult) { ran++ }
+	rep2, err := RunSweep(full)
+	if err != nil {
+		t.Fatalf("fully-preloaded RunSweep: %v", err)
+	}
+	if ran != 0 {
+		t.Fatalf("fully-preloaded sweep ran %d jobs, want 0", ran)
+	}
+	raw2, _ := rep2.JSON()
+	if !bytes.Equal(golden, raw2) {
+		t.Fatalf("fully-preloaded report diverges:\n%s\nvs\n%s", raw2, golden)
+	}
+
+	// Half preloaded: exactly the missing jobs run, bytes still identical.
+	half := preloadTestConfig()
+	half.Preloaded = streamed[:len(streamed)/2]
+	ran = 0
+	half.OnResult = func(SweepJobResult) { ran++ }
+	rep3, err := RunSweep(half)
+	if err != nil {
+		t.Fatalf("half-preloaded RunSweep: %v", err)
+	}
+	if want := grid.NumJobs() - len(half.Preloaded); ran != want {
+		t.Fatalf("half-preloaded sweep ran %d jobs, want %d", ran, want)
+	}
+	raw3, _ := rep3.JSON()
+	if !bytes.Equal(golden, raw3) {
+		t.Fatalf("half-preloaded report diverges:\n%s\nvs\n%s", raw3, golden)
+	}
+}
+
+// TestSweepPreloadValidation checks that preloaded results are validated
+// against the grid before anything runs, and that failed preloads are
+// retried rather than trusted.
+func TestSweepPreloadValidation(t *testing.T) {
+	cfg := preloadTestConfig()
+	grid, err := NewSweepGrid(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := SweepJobResult{Cell: 0, Rep: 0, Attack: "rtf", Defense: "none", Seed: grid.Seeds[0]}
+
+	tampered := good
+	tampered.Seed++
+	cfg.Preloaded = []SweepJobResult{tampered}
+	if _, err := RunSweep(cfg); err == nil || !strings.Contains(err.Error(), "claims") {
+		t.Fatalf("tampered preload: err %v, want a grid-mismatch rejection", err)
+	}
+
+	outside := good
+	outside.Cell = grid.NumCells()
+	cfg.Preloaded = []SweepJobResult{outside}
+	if _, err := RunSweep(cfg); err == nil || !strings.Contains(err.Error(), "outside") {
+		t.Fatalf("out-of-range preload: err %v, want an out-of-grid rejection", err)
+	}
+
+	// A failed preload is ignored: its job re-runs instead.
+	failed := good
+	failed.Err = "transient node loss"
+	cfg.Preloaded = []SweepJobResult{failed}
+	reran := 0
+	cfg.OnResult = func(SweepJobResult) { reran++ }
+	if _, err := RunSweep(cfg); err != nil {
+		t.Fatalf("failed-preload RunSweep: %v", err)
+	}
+	if reran != grid.NumJobs() {
+		t.Fatalf("sweep with one failed preload ran %d jobs, want all %d", reran, grid.NumJobs())
+	}
+}

@@ -8,11 +8,8 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
-	"strings"
 	"sync"
 
-	"github.com/oasisfl/oasis/internal/attack"
-	"github.com/oasisfl/oasis/internal/defense"
 	"github.com/oasisfl/oasis/internal/metrics"
 	"github.com/oasisfl/oasis/internal/nn"
 	"github.com/oasisfl/oasis/internal/obs"
@@ -63,6 +60,17 @@ type SweepConfig struct {
 	// Log receives per-run progress lines; nil discards them. Writes are
 	// serialized, so any io.Writer is safe under cell concurrency.
 	Log io.Writer
+	// OnResult, when set, receives every freshly-completed job result —
+	// success or failure — as it lands. Calls are serialized, so a
+	// checkpoint writer needs no locking of its own. Preloaded results are
+	// not replayed through it (they are already on disk).
+	OnResult func(SweepJobResult)
+	// Preloaded carries results trusted from a previous run (a JSONL
+	// checkpoint): their jobs are not re-run, and the final report is
+	// byte-identical to a run that computed them fresh. Failed results
+	// (Err != "") are ignored — resume retries failures. Every entry is
+	// validated against the grid; a mismatch aborts before any cell runs.
+	Preloaded []SweepJobResult
 }
 
 // SweepCell is one (attack, defense) grid entry, aggregated over the
@@ -219,85 +227,51 @@ func ReplicateSeeds(base uint64, n int) []uint64 {
 // cfg.Attacks) against every defense spec (or DefaultSweepDefenses), one
 // scenario run per (cell, replicate), aggregated to mean±std per cell.
 // Cell×replicate runs dispatch onto a bounded pool of cfg.CellWorkers and
-// merge in deterministic grid order, so the report is byte-identical for
-// every CellWorkers (and per-cell Workers) value.
+// merge in deterministic grid order (SweepGrid.Merge), so the report is
+// byte-identical for every CellWorkers (and per-cell Workers) value — and to
+// a distributed run of the same grid, which shares this job layer.
 //
 // On a cell failure the error is returned together with the partial report
 // holding every fully-completed cell in grid order, so callers can dump
 // finished work before exiting.
 func RunSweep(cfg SweepConfig) (*SweepReport, error) {
-	base := cfg.Base
-	if base.Clients == 0 {
-		base = DefaultSweepScenario()
+	grid, err := NewSweepGrid(cfg)
+	if err != nil {
+		return nil, err
 	}
 	ctx, runSpan := obs.Start(context.Background(), "sweep.run",
-		obs.String("scenario", base.Name), obs.Uint64("seed", base.Seed))
+		obs.String("scenario", grid.Base.Name), obs.Uint64("seed", grid.Base.Seed))
 	defer runSpan.End()
-	attacks := cfg.Attacks
-	if len(attacks) == 0 {
-		attacks = attack.Names()
-	}
-	defenses := cfg.Defenses
-	if len(defenses) == 0 {
-		defenses = DefaultSweepDefenses()
-	}
-	replicates := max(cfg.Replicates, 1)
-	seeds := ReplicateSeeds(base.Seed, replicates)
-	report := &SweepReport{
-		Scenario:   base.Name,
-		Seed:       base.Seed,
-		Replicates: replicates,
-		Seeds:      seeds,
-		Attacks:    attacks,
-		Defenses:   defenses,
-	}
-	// Validate both axes before the first cell runs, so a typo at the end of
-	// a list cannot discard minutes of completed grid work. Defense columns
-	// are arbitrary pipeline specs resolved by the defense registry.
-	for _, atk := range attacks {
-		if !attack.Known(atk) {
-			return nil, fmt.Errorf("experiments: sweep: unknown attack kind %q (want one of %s)",
-				atk, strings.Join(attack.Names(), ", "))
-		}
-	}
-	for _, def := range defenses {
-		if def == "none" || def == "" {
-			continue
-		}
-		if _, err := defense.NewPipeline(def, defense.Config{}); err != nil {
-			return nil, fmt.Errorf("experiments: sweep: %w", err)
-		}
-	}
 
-	// Dispatch cells×replicates onto the bounded cell-level pool. Each job
-	// owns a deep scenario copy (WithSeed), writes to its own result slot,
-	// and serializes progress lines, so jobs never share mutable state.
-	nCells := len(attacks) * len(defenses)
-	cellScenario := func(cell, rep int) (string, string, sim.Scenario) {
-		atk, def := attacks[cell/len(defenses)], defenses[cell%len(defenses)]
-		sc := base.WithSeed(seeds[rep])
-		sc.Attack.Kind = atk
-		if def == "none" || def == "" {
-			sc.Defense = sim.DefenseSpec{}
-		} else {
-			sc.Defense = sim.DefenseSpec{Kind: def, Fraction: 1}
+	// Seed the result table with checkpointed work, then dispatch only the
+	// remaining jobs onto the bounded cell-level pool. Each job owns a deep
+	// scenario copy (WithSeed), writes to its own result slot, and
+	// serializes progress/OnResult calls, so jobs never share mutable state.
+	nJobs := grid.NumJobs()
+	results := make([]*SweepJobResult, nJobs)
+	for _, pre := range cfg.Preloaded {
+		if err := grid.CheckResult(pre); err != nil {
+			return nil, err
 		}
-		return atk, def, sc
+		if pre.Err != "" {
+			continue // resume retries failed jobs
+		}
+		pre := pre
+		results[grid.JobID(pre.Cell, pre.Rep)] = &pre
 	}
-	type job struct{ cell, rep int }
-	results := make([][]*sim.Report, nCells)
-	errs := make([][]error, nCells)
-	for i := range results {
-		results[i] = make([]*sim.Report, replicates)
-		errs[i] = make([]error, replicates)
+	todo := make([]int, 0, nJobs)
+	for id := 0; id < nJobs; id++ {
+		if results[id] == nil {
+			todo = append(todo, id)
+		}
 	}
 	workers := cfg.CellWorkers
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
-	workers = min(workers, nCells*replicates)
+	workers = min(workers, max(len(todo), 1))
 	obsCellWorkers.Set(float64(workers))
-	jobs := make(chan job)
+	jobs := make(chan int)
 	var wg sync.WaitGroup
 	var logMu sync.Mutex
 	for w := 0; w < workers; w++ {
@@ -308,38 +282,27 @@ func RunSweep(cfg SweepConfig) (*SweepReport, error) {
 				// The lease span measures how long this worker sat idle
 				// waiting for the feeder — grid-level pool utilization.
 				_, lease := obs.Start(ctx, "sweep.lease", obs.Int("worker", worker))
-				j, ok := <-jobs
+				id, ok := <-jobs
 				lease.End()
 				if !ok {
 					return
 				}
-				atk, def, sc := cellScenario(j.cell, j.rep)
-				jctx, cell := obs.Start(ctx, "sweep.cell",
-					obs.String("attack", atk), obs.String("defense", def),
-					obs.Int("replicate", j.rep), obs.Uint64("seed", sc.Seed))
-				obsSweepJobs.Inc()
-				rep, err := sim.RunContext(jctx, sc, sim.Options{Quick: cfg.Quick, Workers: cfg.Workers})
-				cell.SetAttr(obs.Bool("ok", err == nil))
-				cell.End()
-				if err != nil {
-					obsSweepJobFailures.Inc()
-					errs[j.cell][j.rep] = err
-					continue
+				res := grid.RunJob(ctx, id)
+				results[id] = &res
+				logMu.Lock()
+				if cfg.OnResult != nil {
+					cfg.OnResult(res)
 				}
-				results[j.cell][j.rep] = rep
-				if cfg.Log != nil {
-					logMu.Lock()
+				if cfg.Log != nil && res.Err == "" {
 					fmt.Fprintf(cfg.Log, "sweep %s × %s [seed %d]: %d recon, PSNR %.1f dB, SSIM %.3f\n",
-						atk, def, sc.Seed, rep.AttackReconstructions, rep.AttackMeanPSNR, rep.AttackMeanSSIM)
-					logMu.Unlock()
+						res.Attack, res.Defense, res.Seed, res.Reconstructions, res.PSNR, res.SSIM)
 				}
+				logMu.Unlock()
 			}
 		}(w)
 	}
-	for c := 0; c < nCells; c++ {
-		for r := 0; r < replicates; r++ {
-			jobs <- job{c, r}
-		}
+	for _, id := range todo {
+		jobs <- id
 	}
 	close(jobs)
 	wg.Wait()
@@ -351,42 +314,9 @@ func RunSweep(cfg SweepConfig) (*SweepReport, error) {
 	// the gap) and is omitted only when nothing completed, so a crash under
 	// high CellWorkers never discards work that was already done. The first
 	// failure in grid order becomes the returned error.
-	_, mergeSpan := obs.Start(ctx, "sweep.merge", obs.Int("cells", nCells))
+	_, mergeSpan := obs.Start(ctx, "sweep.merge", obs.Int("cells", grid.NumCells()))
 	defer mergeSpan.End()
-	var firstErr error
-	for c := 0; c < nCells; c++ {
-		atk, def := attacks[c/len(defenses)], defenses[c%len(defenses)]
-		cell := SweepCell{Attack: atk, Defense: def}
-		psnrs := make([]float64, 0, replicates)
-		ssims := make([]float64, 0, replicates)
-		accs := make([]float64, 0, replicates)
-		for r := 0; r < replicates; r++ {
-			if err := errs[c][r]; err != nil {
-				cell.FailedReplicates++
-				if firstErr == nil {
-					firstErr = fmt.Errorf("experiments: sweep cell %s×%s (seed %d): %w", atk, def, seeds[r], err)
-				}
-				continue
-			}
-			rep := results[c][r]
-			cell.Captures += rep.AttackCaptures
-			cell.Reconstructions += rep.AttackReconstructions
-			psnrs = append(psnrs, rep.AttackMeanPSNR)
-			ssims = append(ssims, rep.AttackMeanSSIM)
-			accs = append(accs, rep.FinalAccuracy)
-		}
-		if len(psnrs) == 0 {
-			continue // nothing completed; the cell renders as absent
-		}
-		cell.MeanPSNR, cell.StdPSNR = metrics.Mean(psnrs), metrics.Std(psnrs)
-		cell.MeanSSIM, cell.StdSSIM = metrics.Mean(ssims), metrics.Std(ssims)
-		cell.MeanAccuracy, cell.StdAccuracy = metrics.Mean(accs), metrics.Std(accs)
-		report.Cells = append(report.Cells, cell)
-	}
-	if firstErr != nil {
-		return report, firstErr
-	}
-	return report, nil
+	return grid.Merge(results)
 }
 
 // Sweep runs the attack×defense grid as a registry experiment, emitting the

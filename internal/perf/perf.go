@@ -1,7 +1,8 @@
 // Package perf measures the repo's hot-path performance trajectory and gates
 // regressions against committed baselines.
 //
-// Two suites are recorded, each as a JSON report committed at the repo root:
+// Three suites are recorded, each as a JSON report committed at the repo
+// root:
 //
 //   - BENCH_tensor.json — the tensor kernels behind every FL round (matmul
 //     family, transpose, the fused conv lowering), at the malicious-layer
@@ -9,6 +10,10 @@
 //   - BENCH_round.json — the full round engine on the cross-device-1k preset
 //     (quick cap), the end-to-end number a kernel regression must not hide
 //     behind.
+//   - BENCH_sweep.json — the sweep grid engine on a fixed 2×2×2 quick grid
+//     (SweepSuite), covering grid dispatch, per-job scenario
+//     materialization, and the deterministic merge on top of the round
+//     engine.
 //
 // Cross-hardware comparability: raw wall-clock is meaningless between the
 // machine that committed a baseline and the CI runner that checks it. Every
@@ -20,10 +25,11 @@
 // wall-clock at NumCPU workers is recorded alongside as trajectory
 // information but is not gated.
 //
-// Refreshing baselines: run `go run ./cmd/oasis-bench -round` at the repo
-// root and commit the rewritten BENCH_round.json / BENCH_tensor.json. Do this
-// whenever a PR intentionally shifts kernel or round-engine cost, with the
-// measured before/after in the PR description.
+// Refreshing baselines: run `go run ./cmd/oasis-bench -round -sweep` at the
+// repo root and commit the rewritten BENCH_round.json / BENCH_tensor.json /
+// BENCH_sweep.json. Do this whenever a PR intentionally shifts kernel,
+// round-engine, or sweep-engine cost, with the measured before/after in the
+// PR description.
 package perf
 
 import (

@@ -1,0 +1,81 @@
+package perf
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+
+	"github.com/oasisfl/oasis/internal/experiments"
+	"github.com/oasisfl/oasis/internal/tensor"
+)
+
+// sweepSuiteConfig is the fixed grid the sweep trajectory measures: a 2×2
+// grid (one imprint-family and one inversion-family attack against the
+// undefended baseline and a gradient defense) at two replicate seeds, quick
+// cap, fully serial inside each cell. Small enough for CI, large enough
+// (8 scenario runs) that grid-level dispatch, merge, and per-job scenario
+// materialization all show up in the number.
+func sweepSuiteConfig() experiments.SweepConfig {
+	return experiments.SweepConfig{
+		Attacks:    []string{"rtf", "qbi"},
+		Defenses:   []string{"none", "prune:0.3"},
+		Replicates: 2,
+		Workers:    1,
+		Quick:      true,
+	}
+}
+
+// SweepSuite measures the sweep grid engine end to end on the fixed 2×2×2
+// grid: serial (CellWorkers 1, gated) and at cell-level parallelism
+// (informational). Tensor workers stay at 1 in both legs so the parallel
+// number isolates grid-level scaling. The two legs' report JSON is
+// byte-compared — the determinism contract is asserted on every benchmark
+// run, not just in tests. repeats < 1 defaults to 3.
+func SweepSuite(repeats int) (*Report, error) {
+	if repeats < 1 {
+		repeats = 3
+	}
+	cfg := sweepSuiteConfig()
+	rep := newReport("sweep", repeats)
+	var runErr error
+	var lastJSON []byte
+	runOnce := func(cellWorkers int) {
+		cfg.CellWorkers = cellWorkers
+		report, err := experiments.RunSweep(cfg)
+		if err != nil {
+			if runErr == nil {
+				runErr = err
+			}
+			return
+		}
+		if lastJSON, err = report.JSON(); err != nil && runErr == nil {
+			runErr = err
+		}
+	}
+	prev := tensor.SetWorkers(1)
+	defer tensor.SetWorkers(prev)
+	// Warm arenas and page caches once before timing, like RoundSuite.
+	runOnce(1)
+	if runErr != nil {
+		return nil, runErr
+	}
+	// The grid engine spreads like the round engine (it is 8 round-engine
+	// runs), so give its best-of the same enlarged sampling window.
+	serial := bestOfBudget(repeats, 4*minBudget, func() { runOnce(1) })
+	serialJSON := lastJSON
+	par := bestOfBudget(repeats, 4*minBudget, func() { runOnce(max(2, runtime.NumCPU())) })
+	if runErr != nil {
+		return nil, runErr
+	}
+	if !bytes.Equal(serialJSON, lastJSON) {
+		return nil, fmt.Errorf("perf: sweep report JSON diverges between cell-workers 1 and %d", max(2, runtime.NumCPU()))
+	}
+	rep.Entries = append(rep.Entries, Entry{
+		Name:          "sweep/rtf,qbi×none,prune/quick",
+		SerialMS:      round3(serial),
+		Ratio:         round3(serial / rep.CalibMS),
+		ParallelMS:    round3(par),
+		Informational: rep.SingleCPU,
+	})
+	return rep, nil
+}
