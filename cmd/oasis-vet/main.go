@@ -1,0 +1,22 @@
+// Command oasis-vet is the multichecker for the repository's contract
+// analyzers (see internal/analysis): rngdiscipline, walltime, mapiter,
+// poolpair, and spanpair. It is built on unitchecker, so it is driven by
+// the go command rather than run directly:
+//
+//	go build -o oasis-vet ./cmd/oasis-vet
+//	go vet -vettool=./oasis-vet ./...
+//
+// Diagnostics print as file:line:col so they are clickable in CI logs.
+// Analyzer flags pass through go vet, e.g.
+// `go vet -vettool=./oasis-vet -walltime.exempt=... ./...`.
+package main
+
+import (
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"github.com/oasisfl/oasis/internal/analysis"
+)
+
+func main() {
+	unitchecker.Main(analysis.Suite()...)
+}

@@ -1,0 +1,25 @@
+package analysis
+
+import "golang.org/x/tools/go/analysis"
+
+// Analyzer names, shared by the Analyzer declarations and their run
+// functions (a direct reference would be an initialization cycle).
+const (
+	rngName      = "rngdiscipline"
+	walltimeName = "walltime"
+	mapiterName  = "mapiter"
+	poolpairName = "poolpair"
+	spanpairName = "spanpair"
+)
+
+// Suite returns the five oasis-vet analyzers in a stable order. cmd/oasis-vet
+// hands them to unitchecker; the tests run them individually.
+func Suite() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		RNGDiscipline,
+		Walltime,
+		MapIter,
+		PoolPair,
+		SpanPair,
+	}
+}

@@ -1,0 +1,307 @@
+// Package analysistest is a self-contained, offline reimplementation of
+// the golang.org/x/tools/go/analysis/analysistest harness: it loads
+// GOPATH-style fixture packages from a testdata directory, runs an
+// analyzer (and its transitive Requires) over them, and compares the
+// diagnostics against `// want "regexp"` comments in the fixture sources.
+//
+// The real analysistest depends on go/packages, which is not part of the
+// toolchain's vendored x/tools subset this repository builds against, so
+// this package reimplements the subset the oasis-vet suites need:
+//
+//   - fixtures live under <testdata>/src/<import/path>/*.go, and may
+//     import each other by that path (stub tensor/obs packages live at
+//     their real import paths so analyzer defaults apply unchanged);
+//   - standard-library imports are type-checked from GOROOT source via
+//     go/importer's "source" compiler, so no network or export data is
+//     required;
+//   - a `// want` comment holds one or more quoted regular expressions,
+//     each of which must match a diagnostic reported on that line, and
+//     every diagnostic must be matched by some want.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// TestData returns the absolute path of the calling test's testdata
+// directory, mirroring the real analysistest API.
+func TestData() string {
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		panic(err)
+	}
+	return dir
+}
+
+// Run loads each fixture package below dir/src, applies a (running its
+// Requires first), and checks diagnostics against want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	l := newLoader(dir)
+	for _, path := range pkgPaths {
+		pkg, err := l.load(path)
+		if err != nil {
+			t.Errorf("loading fixture %s: %v", path, err)
+			continue
+		}
+		diags, err := runAnalyzer(l, pkg, a)
+		if err != nil {
+			t.Errorf("running %s on %s: %v", a.Name, path, err)
+			continue
+		}
+		checkWants(t, l.fset, pkg, diags)
+	}
+}
+
+// loadedPkg is one type-checked fixture package.
+type loadedPkg struct {
+	path  string
+	files []*ast.File
+	types *types.Package
+	info  *types.Info
+}
+
+// loader resolves fixture packages from testdata/src and everything else
+// from GOROOT source.
+type loader struct {
+	dir    string // testdata root
+	fset   *token.FileSet
+	std    types.ImporterFrom
+	pkgs   map[string]*loadedPkg
+	loadin map[string]bool // import cycle guard
+}
+
+func newLoader(dir string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		dir:    dir,
+		fset:   fset,
+		std:    importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		pkgs:   make(map[string]*loadedPkg),
+		loadin: make(map[string]bool),
+	}
+}
+
+// Import implements types.Importer over the fixture tree with a
+// standard-library fallback.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if fi, err := os.Stat(l.fixtureDir(path)); err == nil && fi.IsDir() {
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.types, nil
+	}
+	return l.std.ImportFrom(path, "", 0)
+}
+
+func (l *loader) fixtureDir(path string) string {
+	return filepath.Join(l.dir, "src", filepath.FromSlash(path))
+}
+
+// load parses and type-checks one fixture package (memoized).
+func (l *loader) load(path string) (*loadedPkg, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.loadin[path] {
+		return nil, fmt.Errorf("import cycle through %s", path)
+	}
+	l.loadin[path] = true
+	defer delete(l.loadin, path)
+
+	dir := l.fixtureDir(path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	pkg := &loadedPkg{path: path, files: files, types: tpkg, info: info}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// runAnalyzer executes a and its transitive Requires over pkg, returning
+// a's diagnostics.
+func runAnalyzer(l *loader, pkg *loadedPkg, a *analysis.Analyzer) ([]analysis.Diagnostic, error) {
+	results := make(map[*analysis.Analyzer]any)
+	var diags []analysis.Diagnostic
+	objFacts := make(map[types.Object]analysis.Fact)
+
+	var run func(a *analysis.Analyzer) error
+	run = func(a *analysis.Analyzer) error {
+		if _, done := results[a]; done {
+			return nil
+		}
+		for _, req := range a.Requires {
+			if err := run(req); err != nil {
+				return err
+			}
+		}
+		pass := &analysis.Pass{
+			Analyzer:   a,
+			Fset:       l.fset,
+			Files:      pkg.files,
+			Pkg:        pkg.types,
+			TypesInfo:  pkg.info,
+			TypesSizes: types.SizesFor("gc", "amd64"),
+			ResultOf:   make(map[*analysis.Analyzer]any),
+			Report: func(d analysis.Diagnostic) {
+				diags = append(diags, d)
+			},
+			ReadFile: os.ReadFile,
+			ImportObjectFact: func(obj types.Object, fact analysis.Fact) bool {
+				_, ok := objFacts[obj]
+				return ok
+			},
+			ExportObjectFact: func(obj types.Object, fact analysis.Fact) {
+				objFacts[obj] = fact
+			},
+			ImportPackageFact: func(p *types.Package, fact analysis.Fact) bool { return false },
+			ExportPackageFact: func(fact analysis.Fact) {},
+			AllObjectFacts:    func() []analysis.ObjectFact { return nil },
+			AllPackageFacts:   func() []analysis.PackageFact { return nil },
+		}
+		for _, req := range a.Requires {
+			pass.ResultOf[req] = results[req]
+		}
+		res, err := a.Run(pass)
+		if err != nil {
+			return fmt.Errorf("%s: %w", a.Name, err)
+		}
+		results[a] = res
+		return nil
+	}
+
+	// Dependency diagnostics are discarded: only the analyzer under test
+	// reports into the collected set.
+	var keep []analysis.Diagnostic
+	collect := func(target *analysis.Analyzer) error {
+		for _, req := range target.Requires {
+			if err := run(req); err != nil {
+				return err
+			}
+		}
+		diags = nil
+		if err := run(target); err != nil {
+			return err
+		}
+		keep = diags
+		return nil
+	}
+	if err := collect(a); err != nil {
+		return nil, err
+	}
+	return keep, nil
+}
+
+// wantRx extracts the quoted regexps from a `// want` comment.
+var wantRx = regexp.MustCompile("(\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`)")
+
+// wantMarkerRx locates the `want` marker within a comment.
+var wantMarkerRx = regexp.MustCompile(`(?:^//|\s)want\s`)
+
+// checkWants matches diagnostics against the fixture's want comments.
+func checkWants(t *testing.T, fset *token.FileSet, pkg *loadedPkg, diags []analysis.Diagnostic) {
+	t.Helper()
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*regexp.Regexp)
+	for _, f := range pkg.files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				// The marker may trail other comment text (e.g. after a
+				// bare directive under test), so find it anywhere.
+				idx := wantMarkerRx.FindStringIndex(c.Text)
+				if idx == nil {
+					continue
+				}
+				p := fset.Position(c.Pos())
+				for _, q := range wantRx.FindAllString(c.Text[idx[1]:], -1) {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Errorf("%s:%d: bad want pattern %s: %v", p.Filename, p.Line, q, err)
+						continue
+					}
+					rx, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s:%d: bad want regexp %q: %v", p.Filename, p.Line, pat, err)
+						continue
+					}
+					k := key{p.Filename, p.Line}
+					wants[k] = append(wants[k], rx)
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		p := fset.Position(d.Pos)
+		k := key{p.Filename, p.Line}
+		matched := false
+		for i, rx := range wants[k] {
+			if rx.MatchString(d.Message) {
+				wants[k] = append(wants[k][:i], wants[k][i+1:]...)
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", p.Filename, p.Line, d.Message)
+		}
+	}
+
+	var missed []string
+	for k, rxs := range wants {
+		for _, rx := range rxs {
+			missed = append(missed, fmt.Sprintf("%s:%d: no diagnostic matching %q", k.file, k.line, rx))
+		}
+	}
+	sort.Strings(missed)
+	for _, m := range missed {
+		t.Error(m)
+	}
+}

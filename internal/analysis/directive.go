@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// directivePrefix is the comment marker all escape directives share:
+// //oasis:allow-<analyzer> <justification>.
+const directivePrefix = "oasis:allow-"
+
+// A directive is one parsed //oasis:allow-* comment.
+type directive struct {
+	check  string // analyzer name, e.g. "walltime"
+	reason string // justification text; "" means the directive is invalid
+	pos    token.Pos
+	line   int
+}
+
+// directiveIndex holds, for one pass and one analyzer, every matching
+// directive plus the source ranges it exempts.
+type directiveIndex struct {
+	pass       *analysis.Pass
+	check      string
+	lines      map[string]map[int]bool // filename -> set of directive lines with a reason
+	funcRanges [][2]token.Pos          // [start,end) of functions exempted via doc comment
+	bare       []directive             // directives missing a justification
+}
+
+// parseDirectives scans the pass's files for //oasis:allow-<check>
+// directives and returns an index the analyzer queries with allowed.
+func parseDirectives(pass *analysis.Pass, check string) *directiveIndex {
+	idx := &directiveIndex{pass: pass, check: check, lines: make(map[string]map[int]bool)}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				d, ok := parseDirectiveComment(c)
+				if !ok || d.check != check {
+					continue
+				}
+				p := pass.Fset.Position(c.Pos())
+				if d.reason == "" {
+					d.pos, d.line = c.Pos(), p.Line
+					idx.bare = append(idx.bare, d)
+					continue
+				}
+				m := idx.lines[p.Filename]
+				if m == nil {
+					m = make(map[int]bool)
+					idx.lines[p.Filename] = m
+				}
+				m[p.Line] = true
+			}
+		}
+		// A directive in a function's doc comment exempts the whole body.
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				if d, ok := parseDirectiveComment(c); ok && d.check == check && d.reason != "" {
+					idx.funcRanges = append(idx.funcRanges, [2]token.Pos{fd.Pos(), fd.End()})
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// parseDirectiveComment splits one comment into (check, reason) if it is an
+// oasis:allow directive.
+func parseDirectiveComment(c *ast.Comment) (directive, bool) {
+	text := strings.TrimPrefix(c.Text, "//")
+	if !strings.HasPrefix(text, directivePrefix) {
+		return directive{}, false
+	}
+	rest := strings.TrimPrefix(text, directivePrefix)
+	check, reason, _ := strings.Cut(rest, " ")
+	if check == "" {
+		return directive{}, false
+	}
+	// The justification runs to the end of the comment, but stops at an
+	// embedded "//" so trailing annotations don't read as a reason.
+	reason, _, _ = strings.Cut(reason, "//")
+	return directive{check: check, reason: strings.TrimSpace(reason)}, true
+}
+
+// allowed reports whether a diagnostic at pos is suppressed by a directive:
+// same line, the line immediately above, or an exempted enclosing function.
+func (idx *directiveIndex) allowed(pos token.Pos) bool {
+	p := idx.pass.Fset.Position(pos)
+	if m := idx.lines[p.Filename]; m != nil && (m[p.Line] || m[p.Line-1]) {
+		return true
+	}
+	for _, r := range idx.funcRanges {
+		if r[0] <= pos && pos < r[1] {
+			return true
+		}
+	}
+	return false
+}
+
+// reportBare emits one diagnostic per directive that names this analyzer
+// but carries no justification — such directives suppress nothing, so the
+// tree cannot accumulate silent opt-outs.
+func (idx *directiveIndex) reportBare() {
+	for _, d := range idx.bare {
+		idx.pass.Reportf(d.pos, "oasis:allow-%s directive needs a justification: //oasis:allow-%s <reason>", idx.check, idx.check)
+	}
+}
+
+// skippableFile reports whether diagnostics in f should be suppressed
+// wholesale: test files and generated files are outside the contract.
+func skippableFile(pass *analysis.Pass, f *ast.File) bool {
+	name := pass.Fset.Position(f.Pos()).Filename
+	return strings.HasSuffix(name, "_test.go") || ast.IsGenerated(f)
+}
+
+// skippablePos is skippableFile keyed by a position inside the file.
+func skippablePos(pass *analysis.Pass, pos token.Pos) bool {
+	tf := pass.Fset.File(pos)
+	if tf == nil {
+		return false
+	}
+	for _, f := range pass.Files {
+		if pass.Fset.File(f.Pos()) == tf {
+			return skippableFile(pass, f)
+		}
+	}
+	return false
+}

@@ -1,0 +1,187 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// MapIter flags map iteration whose body feeds an order-sensitive sink
+// (slice append, printing, io writes, JSON/gob encoding) without a
+// subsequent sort — the bug class that silently breaks report
+// byte-identity.
+var MapIter = &analysis.Analyzer{
+	Name: mapiterName,
+	Doc: "flag map iteration that feeds order-sensitive sinks unsorted\n\n" +
+		"Go randomizes map iteration order, so a range over a map that appends\n" +
+		"to a slice, prints, writes, or encodes produces different bytes on\n" +
+		"every run unless the collected data is sorted afterwards. The\n" +
+		"collect-keys-then-sort idiom is recognized and not flagged.",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runMapIter,
+}
+
+// mapSink is one order-sensitive operation found in a map-range body.
+type mapSink struct {
+	pos  ast.Node
+	desc string // human-readable sink description
+	// appendTo is the printed form of the append target when the sink is
+	// an append; sorting that expression later in the function clears it.
+	appendTo string
+}
+
+func runMapIter(pass *analysis.Pass) (any, error) {
+	dir := parseDirectives(pass, mapiterName)
+	defer dir.reportBare()
+
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.WithStack([]ast.Node{(*ast.RangeStmt)(nil)}, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return true
+		}
+		rs := n.(*ast.RangeStmt)
+		t := pass.TypesInfo.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, ok := t.Underlying().(*types.Map); !ok {
+			return true
+		}
+		if skippablePos(pass, rs.Pos()) {
+			return true
+		}
+		body := enclosingFuncBody(stack)
+		for _, sink := range mapSinks(pass.TypesInfo, rs) {
+			if sink.appendTo != "" && sortedAfter(pass.TypesInfo, body, rs, sink.appendTo) {
+				continue
+			}
+			if dir.allowed(sink.pos.Pos()) || dir.allowed(rs.Pos()) {
+				continue
+			}
+			pass.Reportf(sink.pos.Pos(), "%s inside map iteration: order is nondeterministic; sort first (or annotate //oasis:allow-mapiter <reason>)", sink.desc)
+		}
+		return true
+	})
+	return nil, nil
+}
+
+// enclosingFuncBody returns the body of the innermost function on the
+// inspector stack, or nil at file scope.
+func enclosingFuncBody(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch f := stack[i].(type) {
+		case *ast.FuncDecl:
+			return f.Body
+		case *ast.FuncLit:
+			return f.Body
+		}
+	}
+	return nil
+}
+
+// mapSinks collects the order-sensitive operations in a map-range body.
+// Nested map ranges report through their own visit, but their bodies are
+// still order-sensitive parts of the outer loop, so they are not excluded.
+func mapSinks(info *types.Info, rs *ast.RangeStmt) []mapSink {
+	var sinks []mapSink
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(info, call) || i >= len(n.Lhs) {
+					continue
+				}
+				target := types.ExprString(n.Lhs[i])
+				sinks = append(sinks, mapSink{pos: n, desc: "append to " + target, appendTo: target})
+			}
+		case *ast.CallExpr:
+			if desc, ok := orderSensitiveCall(info, n); ok {
+				sinks = append(sinks, mapSink{pos: n, desc: desc})
+			}
+		}
+		return true
+	})
+	return sinks
+}
+
+// isBuiltinAppend reports whether call invokes the append builtin.
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// orderSensitiveCall classifies calls that emit bytes whose order the
+// caller observes: fmt printing, JSON/gob encoding, and io-style writes.
+func orderSensitiveCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	fn := typeutilCallee(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return "", false
+	}
+	pkg, name := fn.Pkg().Path(), fn.Name()
+	sig, _ := fn.Type().(*types.Signature)
+	isMethod := sig != nil && sig.Recv() != nil
+	switch {
+	case pkg == "fmt" && !isMethod:
+		switch name {
+		case "Print", "Println", "Printf", "Fprint", "Fprintln", "Fprintf":
+			return "fmt." + name, true
+		}
+	case pkg == "encoding/json" && !isMethod && (name == "Marshal" || name == "MarshalIndent"):
+		return "json." + name, true
+	case (pkg == "encoding/json" || pkg == "encoding/gob") && isMethod && name == "Encode":
+		return pkg + " Encode", true
+	case isMethod && (name == "Write" || name == "WriteString"):
+		return fmt.Sprintf("(%s).%s", sig.Recv().Type(), name), true
+	}
+	return "", false
+}
+
+// sortedAfter reports whether target (the printed form of an append
+// destination) is passed to a sort/slices call after the range statement in
+// the same function — the collect-then-sort idiom.
+func sortedAfter(info *types.Info, body *ast.BlockStmt, rs *ast.RangeStmt, target string) bool {
+	if body == nil {
+		return false
+	}
+	sorted := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sorted || n == nil || n.Pos() <= rs.End() {
+			return !sorted
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := typeutilCallee(info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			found := false
+			ast.Inspect(arg, func(sub ast.Node) bool {
+				if e, ok := sub.(ast.Expr); ok && types.ExprString(e) == target {
+					found = true
+				}
+				return !found
+			})
+			if found {
+				sorted = true
+				break
+			}
+		}
+		return !sorted
+	})
+	return sorted
+}

@@ -1,0 +1,358 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/ctrlflow"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/cfg"
+)
+
+// pairRule parameterizes the acquire/release flow check shared by poolpair
+// and spanpair: an acquire call produces a value that must reach a release
+// method on every path, be deferred, or visibly transfer ownership.
+type pairRule struct {
+	name    string // analyzer name, for directives
+	what    string // e.g. "pooled tensor", "tracing span"
+	release string // release method name, e.g. "Release", "End"
+	remedy  string // tail of the diagnostic message
+	// acquire reports whether call acquires a tracked value and which
+	// result index carries it.
+	acquire func(pass *analysis.Pass, call *ast.CallExpr) (int, bool)
+}
+
+// useKind classifies how a tracked variable is used after acquisition.
+type useKind int
+
+const (
+	useNeutral  useKind = iota // receiver of non-release method, comparison, field read
+	useRelease                 // receiver of the release method
+	useEscape                  // returned, stored, or passed — ownership transfer
+	useReassign                // variable rebound; tracking stops
+)
+
+// pairUse is one classified use of the tracked variable. pos points at the
+// covering statement (the DeferStmt for deferred releases), which is what
+// the CFG walk tests against.
+type pairUse struct {
+	kind useKind
+	pos  token.Pos
+}
+
+func runPairFlow(pass *analysis.Pass, rule pairRule) (any, error) {
+	dir := parseDirectives(pass, rule.name)
+	defer dir.reportBare()
+
+	cfgs := pass.ResultOf[ctrlflow.Analyzer].(*ctrlflow.CFGs)
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.WithStack([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return true
+		}
+		call := n.(*ast.CallExpr)
+		resultIdx, ok := rule.acquire(pass, call)
+		if !ok || skippablePos(pass, call.Pos()) || dir.allowed(call.Pos()) {
+			return true
+		}
+		checkAcquire(pass, rule, cfgs, call, resultIdx, stack)
+		return true
+	})
+	return nil, nil
+}
+
+// checkAcquire inspects how one acquire call's result is bound and, when it
+// lands in a local variable, verifies the release pairing on all paths.
+func checkAcquire(pass *analysis.Pass, rule pairRule, cfgs *ctrlflow.CFGs, call *ast.CallExpr, resultIdx int, stack []ast.Node) {
+	parent := stack[len(stack)-2]
+	var target *ast.Ident
+	switch p := parent.(type) {
+	case *ast.AssignStmt:
+		for j, rhs := range p.Rhs {
+			if ast.Unparen(rhs) != call {
+				continue
+			}
+			// `a, b := f()` (tuple) binds LHS[resultIdx]; a parallel
+			// assign `a, b := f(), g()` binds LHS[j] (resultIdx is then 0).
+			i := resultIdx
+			if len(p.Rhs) > 1 {
+				i = j
+			}
+			if i < len(p.Lhs) {
+				target, _ = ast.Unparen(p.Lhs[i]).(*ast.Ident)
+			}
+		}
+	case *ast.ValueSpec:
+		if resultIdx < len(p.Names) {
+			target = p.Names[resultIdx]
+		}
+	case *ast.ExprStmt:
+		pass.Reportf(call.Pos(), "%s from %s is discarded: %s", rule.what, callName(call), rule.remedy)
+		return
+	default:
+		// Returned, passed as an argument, or embedded in a composite
+		// literal: ownership visibly moves to someone else.
+		return
+	}
+	if target == nil {
+		return // non-ident destination (field, index): stored — a transfer
+	}
+	if target.Name == "_" {
+		pass.Reportf(call.Pos(), "%s from %s is discarded: %s", rule.what, callName(call), rule.remedy)
+		return
+	}
+	obj := pass.TypesInfo.ObjectOf(target)
+	if obj == nil {
+		return
+	}
+
+	fn, body := enclosingFunc(stack)
+	if body == nil {
+		return
+	}
+	uses := classifyUses(pass.TypesInfo, body, target, obj, rule.release)
+
+	var hasRelease, hasEscape bool
+	for _, u := range uses {
+		switch u.kind {
+		case useRelease:
+			hasRelease = true
+		case useEscape, useReassign:
+			hasEscape = true
+		}
+	}
+	if !hasRelease && !hasEscape {
+		pass.Reportf(call.Pos(), "%s %q from %s never reaches %s: %s", rule.what, target.Name, callName(call), rule.release, rule.remedy)
+		return
+	}
+	if !hasRelease {
+		return // pure transfer
+	}
+
+	g := funcCFG(cfgs, fn)
+	if g == nil {
+		return
+	}
+	var covers []token.Pos
+	for _, u := range uses {
+		if u.kind != useNeutral {
+			covers = append(covers, u.pos)
+		}
+	}
+	if leakPath(g, call.Pos(), covers) {
+		pass.Reportf(call.Pos(), "%s %q from %s does not reach %s on every path (an early return or branch can skip it): %s", rule.what, target.Name, callName(call), rule.release, rule.remedy)
+	}
+}
+
+// enclosingFunc returns the innermost enclosing function node and body.
+func enclosingFunc(stack []ast.Node) (ast.Node, *ast.BlockStmt) {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch f := stack[i].(type) {
+		case *ast.FuncDecl:
+			return f, f.Body
+		case *ast.FuncLit:
+			return f, f.Body
+		}
+	}
+	return nil, nil
+}
+
+// funcCFG fetches the control-flow graph ctrlflow built for fn.
+func funcCFG(cfgs *ctrlflow.CFGs, fn ast.Node) *cfg.CFG {
+	switch f := fn.(type) {
+	case *ast.FuncDecl:
+		if f.Body != nil {
+			return cfgs.FuncDecl(f)
+		}
+	case *ast.FuncLit:
+		return cfgs.FuncLit(f)
+	}
+	return nil
+}
+
+// classifyUses walks body and classifies every use of obj (other than its
+// defining occurrence) for the pairing check.
+func classifyUses(info *types.Info, body *ast.BlockStmt, def *ast.Ident, obj types.Object, release string) []pairUse {
+	var uses []pairUse
+	var stack []ast.Node
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		if n == nil {
+			return
+		}
+		if id, ok := n.(*ast.Ident); ok && id != def && info.ObjectOf(id) == obj {
+			uses = append(uses, classifyUse(id, stack, release))
+		}
+		stack = append(stack, n)
+		ast.Inspect(n, func(c ast.Node) bool {
+			if c == nil || c == n {
+				return c == n
+			}
+			walk(c)
+			return false
+		})
+		stack = stack[:len(stack)-1]
+	}
+	walk(body)
+	return uses
+}
+
+// classifyUse decides what one occurrence of the tracked variable means.
+// stack is the ancestor chain (innermost last, not including id).
+func classifyUse(id *ast.Ident, stack []ast.Node, release string) pairUse {
+	pos := id.Pos()
+	// Deferred operations cover the paths that flow through the defer
+	// statement, so a use inside a DeferStmt (directly or via a function
+	// literal) is anchored at the defer.
+	for i := len(stack) - 1; i >= 0; i-- {
+		if d, ok := stack[i].(*ast.DeferStmt); ok {
+			pos = d.Pos()
+			break
+		}
+	}
+
+	parent := innermostParent(stack)
+	if sel, ok := parent.(*ast.SelectorExpr); ok && sel.X == id {
+		// Receiver: v.Release() / v.End() releases; any other selector
+		// (method call, field read) neither releases nor transfers.
+		if call, ok := grandParentCall(stack, sel); ok && call.Fun == sel && sel.Sel.Name == release {
+			return pairUse{kind: useRelease, pos: pos}
+		}
+		return pairUse{kind: useNeutral, pos: pos}
+	}
+	switch p := parent.(type) {
+	case *ast.BinaryExpr:
+		return pairUse{kind: useNeutral, pos: pos} // comparison / arithmetic
+	case *ast.AssignStmt:
+		for _, lhs := range p.Lhs {
+			if ast.Unparen(lhs) == id {
+				return pairUse{kind: useReassign, pos: pos}
+			}
+		}
+		return pairUse{kind: useEscape, pos: pos} // RHS: aliased elsewhere
+	}
+	// Call argument, return value, composite literal, &v, channel send,
+	// map/slice store, ...: ownership visibly moves.
+	return pairUse{kind: useEscape, pos: pos}
+}
+
+// innermostParent returns the closest ancestor, unwrapping parens.
+func innermostParent(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if _, ok := stack[i].(*ast.ParenExpr); ok {
+			continue
+		}
+		return stack[i]
+	}
+	return nil
+}
+
+// grandParentCall finds the CallExpr directly wrapping sel, if any.
+func grandParentCall(stack []ast.Node, sel *ast.SelectorExpr) (*ast.CallExpr, bool) {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if stack[i] == sel {
+			continue
+		}
+		if _, ok := stack[i].(*ast.ParenExpr); ok {
+			continue
+		}
+		call, ok := stack[i].(*ast.CallExpr)
+		return call, ok
+	}
+	return nil, false
+}
+
+// leakPath reports whether some path from the acquire site reaches a
+// function exit without passing any cover position (a release, a deferred
+// release, or an ownership transfer).
+func leakPath(g *cfg.CFG, acquire token.Pos, covers []token.Pos) bool {
+	covered := func(n ast.Node) bool {
+		for _, p := range covers {
+			if n.Pos() <= p && p < n.End() {
+				return true
+			}
+		}
+		return false
+	}
+	// Locate the block and node index holding the acquire call.
+	var start *cfg.Block
+	startIdx := 0
+	for _, b := range g.Blocks {
+		for i, n := range b.Nodes {
+			if n.Pos() <= acquire && acquire < n.End() {
+				start, startIdx = b, i+1
+			}
+		}
+	}
+	if start == nil {
+		return false // acquire not in the CFG (dead code)
+	}
+	visited := make(map[*cfg.Block]bool)
+	var walk func(b *cfg.Block, from int) bool
+	walk = func(b *cfg.Block, from int) bool {
+		for i := from; i < len(b.Nodes); i++ {
+			if covered(b.Nodes[i]) {
+				return false // this path pairs up
+			}
+		}
+		if len(b.Succs) == 0 {
+			return isExitBlock(b) // fell off an exit uncovered → leak
+		}
+		for _, s := range b.Succs {
+			if visited[s] {
+				continue
+			}
+			visited[s] = true
+			if walk(s, 0) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(start, startIdx)
+}
+
+// isExitBlock distinguishes genuine function exits from blocks whose
+// successors were pruned because they end in panic/Fatal-style calls —
+// leaking on a path that dies with the process is not a pairing bug.
+func isExitBlock(b *cfg.Block) bool {
+	if b.Return() != nil {
+		return true
+	}
+	if len(b.Nodes) == 0 {
+		return true
+	}
+	if stmt, ok := b.Nodes[len(b.Nodes)-1].(*ast.ExprStmt); ok {
+		if call, ok := ast.Unparen(stmt.X).(*ast.CallExpr); ok && isNoReturnCall(call) {
+			return false
+		}
+	}
+	return true
+}
+
+// isNoReturnCall matches the calls the CFG builder treats as not
+// returning: panic and the conventional Fatal/Exit family.
+func isNoReturnCall(call *ast.CallExpr) bool {
+	var name string
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		name = f.Name
+	case *ast.SelectorExpr:
+		name = f.Sel.Name
+	default:
+		return false
+	}
+	switch name {
+	case "panic", "Fatal", "Fatalf", "Fatalln", "Exit", "Goexit", "Panic", "Panicf", "Panicln":
+		return true
+	}
+	return false
+}
+
+// callName renders the acquire call for diagnostics ("tensor.NewPooled").
+func callName(call *ast.CallExpr) string {
+	return types.ExprString(call.Fun)
+}

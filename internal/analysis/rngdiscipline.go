@@ -1,0 +1,141 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// rngScope limits rngdiscipline to the deterministic core. Everything under
+// these prefixes must draw randomness from keyed sub-streams.
+var rngScope = newPathList(
+	modulePath+"/internal/sim",
+	modulePath+"/internal/data",
+	modulePath+"/internal/attack",
+	modulePath+"/internal/defense",
+	modulePath+"/internal/fl",
+	modulePath+"/internal/experiments",
+	modulePath+"/internal/dist",
+)
+
+// RNGDiscipline rejects the global math/rand source and time-seeded RNG
+// construction inside the deterministic core.
+var RNGDiscipline = &analysis.Analyzer{
+	Name: rngName,
+	Doc: "forbid global math/rand and time-seeded RNG sources in the deterministic core\n\n" +
+		"Report byte-identity requires every random draw to be a pure function of\n" +
+		"the scenario key. Top-level math/rand functions share one mutable global\n" +
+		"source, and clock-seeded sources differ per run; both are rejected inside\n" +
+		"the packages listed by -rngdiscipline.scope.",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runRNGDiscipline,
+}
+
+func init() {
+	RNGDiscipline.Flags.Var(rngScope, "scope", "comma-separated import-path prefixes the check applies to")
+}
+
+// rngConstructors are the math/rand(/v2) package-level functions that build
+// explicit sources/generators rather than touching the global source.
+var rngConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true, "NewChaCha8": true,
+}
+
+func runRNGDiscipline(pass *analysis.Pass) (any, error) {
+	if !rngScope.matches(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	dir := parseDirectives(pass, rngName)
+	defer dir.reportBare()
+
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.Preorder([]ast.Node{(*ast.SelectorExpr)(nil)}, func(n ast.Node) {
+		sel := n.(*ast.SelectorExpr)
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return
+		}
+		path := fn.Pkg().Path()
+		if path != "math/rand" && path != "math/rand/v2" {
+			return
+		}
+		if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+			return // methods on rand.Rand/Zipf etc. operate on an explicit stream
+		}
+		if skippablePos(pass, sel.Pos()) || dir.allowed(sel.Pos()) {
+			return
+		}
+		if !rngConstructors[fn.Name()] {
+			pass.Reportf(sel.Pos(), "use of global %s.%s: derive randomness from the scenario's keyed RNG sub-streams", path, fn.Name())
+		}
+	})
+
+	// Time-seeded construction: rand.NewSource(time.Now().UnixNano()) and
+	// friends. The constructor itself is fine; a clock in its arguments is
+	// what breaks replayability.
+	ins.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		fn := typeutilCallee(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil || !rngConstructors[fn.Name()] {
+			return
+		}
+		if p := fn.Pkg().Path(); p != "math/rand" && p != "math/rand/v2" {
+			return
+		}
+		for _, arg := range call.Args {
+			if clock := findClockRead(pass.TypesInfo, arg); clock != nil {
+				if skippablePos(pass, call.Pos()) || dir.allowed(call.Pos()) {
+					return
+				}
+				pass.Reportf(call.Pos(), "time-seeded RNG source: seeds must derive from the scenario key, not the clock")
+				return
+			}
+		}
+	})
+	return nil, nil
+}
+
+// typeutilCallee resolves the *types.Func a call invokes, or nil.
+func typeutilCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = f
+	case *ast.SelectorExpr:
+		id = f.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// findClockRead returns the first use of time.Now (or time.Since) inside
+// expr, or nil.
+func findClockRead(info *types.Info, expr ast.Expr) ast.Node {
+	var found ast.Node
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if fn, ok := info.Uses[sel.Sel].(*types.Func); ok && isClockFunc(fn) {
+			found = sel
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isClockFunc reports whether fn is time.Now or time.Since.
+func isClockFunc(fn *types.Func) bool {
+	return fn.Pkg() != nil && fn.Pkg().Path() == "time" &&
+		(fn.Name() == "Now" || fn.Name() == "Since")
+}

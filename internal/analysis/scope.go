@@ -1,0 +1,39 @@
+package analysis
+
+import "strings"
+
+// modulePath anchors the default scopes; the flags exist so the
+// analysistest fixtures (and any future rename) can point elsewhere.
+const modulePath = "github.com/oasisfl/oasis"
+
+// pathList is a flag.Value holding comma-separated import-path prefixes.
+type pathList struct {
+	prefixes []string
+}
+
+func newPathList(prefixes ...string) *pathList { return &pathList{prefixes: prefixes} }
+
+func (p *pathList) String() string { return strings.Join(p.prefixes, ",") }
+
+func (p *pathList) Set(v string) error {
+	p.prefixes = nil
+	for _, s := range strings.Split(v, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			p.prefixes = append(p.prefixes, s)
+		}
+	}
+	return nil
+}
+
+// matches reports whether pkgPath is one of the prefixes or nested below
+// one. Go vet analyzes a package's test variant under the same import path,
+// so no special-casing is needed for in-package tests; external test
+// packages contain only _test.go files, which the analyzers skip anyway.
+func (p *pathList) matches(pkgPath string) bool {
+	for _, pre := range p.prefixes {
+		if pkgPath == pre || strings.HasPrefix(pkgPath, pre+"/") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,54 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/ctrlflow"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+)
+
+// obsPkg is the package whose Start spans spanpair tracks.
+var obsPkg = newPathList(modulePath + "/internal/obs")
+
+// SpanPair verifies that every obs.Start is paired with (*Span).End on all
+// paths, directly or deferred. A span that never ends corrupts the trace
+// tree (oasis-trace validates parent/child nesting) and drops its phase
+// from the duration summary.
+var SpanPair = &analysis.Analyzer{
+	Name: spanpairName,
+	Doc: "pair every obs.Start with a Span.End on all paths\n\n" +
+		"obs.Start opens a tracing interval that only End closes; a span leaked\n" +
+		"on an early return never folds into the phase aggregates and leaves a\n" +
+		"dangling node in the trace tree. Spans must End on every path (directly\n" +
+		"or deferred) or visibly hand off to another owner.",
+	Requires: []*analysis.Analyzer{inspect.Analyzer, ctrlflow.Analyzer},
+	Run:      runSpanPair,
+}
+
+func init() {
+	SpanPair.Flags.Var(obsPkg, "pkg", "import path(s) of the obs package providing Start/End")
+}
+
+func runSpanPair(pass *analysis.Pass) (any, error) {
+	return runPairFlow(pass, pairRule{
+		name:    spanpairName,
+		what:    "tracing span",
+		release: "End",
+		remedy:  "call End (usually `defer sp.End()`), or annotate //oasis:allow-spanpair <reason>",
+		acquire: func(pass *analysis.Pass, call *ast.CallExpr) (int, bool) {
+			fn := typeutilCallee(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil || !obsPkg.matches(fn.Pkg().Path()) {
+				return 0, false
+			}
+			if fn.Name() != "Start" {
+				return 0, false
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() == nil && sig.Results().Len() == 2 {
+				return 1, true // the *Span is the second result
+			}
+			return 0, false
+		},
+	})
+}

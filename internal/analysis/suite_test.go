@@ -1,0 +1,42 @@
+package analysis_test
+
+import (
+	"testing"
+
+	oasisvet "github.com/oasisfl/oasis/internal/analysis"
+	"github.com/oasisfl/oasis/internal/analysis/analysistest"
+)
+
+// Each analyzer gets a golden fixture suite: at least one true positive,
+// one false-positive guard, and directive handling where applicable. The
+// fixtures live in GOPATH-style layout under testdata/src; the stub
+// tensor/obs packages sit at their real import paths so the analyzers run
+// with production defaults.
+
+func TestRNGDiscipline(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), oasisvet.RNGDiscipline,
+		"github.com/oasisfl/oasis/internal/sim/rngfix",
+		// Out-of-scope package: same violations, zero diagnostics.
+		"github.com/oasisfl/oasis/internal/imaging/rngout",
+	)
+}
+
+func TestWalltime(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), oasisvet.Walltime,
+		"github.com/oasisfl/oasis/internal/dist/wtfix",
+		// Exempt package: wall-clock reads are its job.
+		"github.com/oasisfl/oasis/internal/obs/wtexempt",
+	)
+}
+
+func TestMapIter(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), oasisvet.MapIter, "mapiterfix")
+}
+
+func TestPoolPair(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), oasisvet.PoolPair, "poolfix")
+}
+
+func TestSpanPair(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), oasisvet.SpanPair, "spanfix")
+}

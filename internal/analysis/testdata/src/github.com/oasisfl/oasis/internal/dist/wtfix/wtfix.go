@@ -1,0 +1,31 @@
+// Package wtfix exercises walltime and its directive grammar.
+package wtfix
+
+import "time"
+
+func badNow() time.Time {
+	return time.Now() // want `wall-clock time.Now`
+}
+
+func badSince(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `wall-clock time.Since`
+}
+
+func okSameLine() time.Time {
+	return time.Now() //oasis:allow-walltime lease deadlines are wall-clock by design
+}
+
+func okLineAbove() time.Time {
+	//oasis:allow-walltime exchange timeout arithmetic
+	return time.Now()
+}
+
+//oasis:allow-walltime the whole poller is deadline code
+func okFuncDoc() time.Duration {
+	t0 := time.Now()
+	return time.Since(t0)
+}
+
+func badBareDirective() time.Time {
+	return time.Now() //oasis:allow-walltime // want `wall-clock time.Now` `needs a justification`
+}

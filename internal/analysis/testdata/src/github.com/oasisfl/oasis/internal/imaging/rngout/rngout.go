@@ -1,0 +1,7 @@
+// Package rngout sits outside the deterministic core: rngdiscipline's
+// scope does not cover internal/imaging, so nothing here is flagged.
+package rngout
+
+import "math/rand"
+
+func Jitter() float64 { return rand.Float64() }

@@ -1,0 +1,22 @@
+// Package obs is a stub of the real internal/obs tracing API, placed at
+// the real import path so spanpair's defaults apply unchanged.
+package obs
+
+import "context"
+
+type Attr struct {
+	Key   string
+	Value any
+}
+
+func String(k, v string) Attr { return Attr{Key: k, Value: v} }
+
+type Span struct{}
+
+func Start(ctx context.Context, name string, attrs ...Attr) (context.Context, *Span) {
+	return ctx, nil
+}
+
+func (sp *Span) End() {}
+
+func (sp *Span) SetAttr(attrs ...Attr) {}

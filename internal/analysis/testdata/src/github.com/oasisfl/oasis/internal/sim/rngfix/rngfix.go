@@ -1,0 +1,39 @@
+// Package rngfix exercises rngdiscipline inside the deterministic core
+// (its import path is under internal/sim, which the default scope covers).
+package rngfix
+
+import (
+	"math/rand"
+	"time"
+)
+
+func badGlobalCall() int {
+	return rand.Intn(10) // want `use of global math/rand.Intn`
+}
+
+func badGlobalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `use of global math/rand.Shuffle`
+}
+
+func badGlobalValue() func() float64 {
+	return rand.Float64 // want `use of global math/rand.Float64`
+}
+
+func badTimeSeed() rand.Source {
+	return rand.NewSource(time.Now().UnixNano()) // want `time-seeded RNG source`
+}
+
+// okKeyed is the blessed pattern: an explicit source derived from the
+// scenario key. No diagnostic.
+func okKeyed(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// okStream draws from an explicit stream. No diagnostic.
+func okStream(r *rand.Rand) int {
+	return r.Intn(10)
+}
+
+func allowDirective() int {
+	return rand.Intn(3) //oasis:allow-rngdiscipline demo shim outside any report path
+}

@@ -1,0 +1,92 @@
+// Package mapiterfix exercises mapiter: order-sensitive sinks inside map
+// ranges, the collect-then-sort idiom, and the directive escape.
+package mapiterfix
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+func badAppend(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `append to out inside map iteration`
+	}
+	return out
+}
+
+// okCollectSort is the blessed idiom: collect, then sort before anything
+// observes the order. No diagnostic.
+func okCollectSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// okSortSlice is the same idiom with sort.Slice over struct rows.
+func okSortSlice(m map[string]float64) []row {
+	rows := make([]row, 0, len(m))
+	for k, v := range m {
+		rows = append(rows, row{k, v})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].key < rows[j].key })
+	return rows
+}
+
+type row struct {
+	key string
+	val float64
+}
+
+// okSortedBeforeRange iterates a pre-sorted key slice and indexes the map;
+// no map range is involved, so nothing fires.
+func okSortedBeforeRange(m map[string]int) []int {
+	keys := okCollectSort(m)
+	var vals []int
+	for _, k := range keys {
+		vals = append(vals, m[k])
+	}
+	return vals
+}
+
+func badPrint(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want `fmt.Printf inside map iteration`
+	}
+}
+
+func badEncode(w io.Writer, m map[string]int) {
+	enc := json.NewEncoder(w)
+	for k := range m {
+		_ = enc.Encode(k) // want `Encode inside map iteration`
+	}
+}
+
+func badWrite(w io.Writer, m map[string][]byte) {
+	for _, v := range m {
+		_, _ = w.Write(v) // want `Write inside map iteration`
+	}
+}
+
+// okAggregate folds commutatively; order cannot be observed.
+func okAggregate(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func allowDirective(m map[string]int) []string {
+	var out []string
+	//oasis:allow-mapiter order is folded into a set afterwards
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,58 @@
+// Package spanfix exercises spanpair: every obs.Start must pair with
+// Span.End on all paths.
+package spanfix
+
+import (
+	"context"
+
+	"github.com/oasisfl/oasis/internal/obs"
+)
+
+func work(ctx context.Context) {}
+
+// okDefer is the canonical pattern.
+func okDefer(ctx context.Context) {
+	ctx, sp := obs.Start(ctx, "round")
+	defer sp.End()
+	work(ctx)
+}
+
+// okAllPaths ends the span explicitly on each branch.
+func okAllPaths(ctx context.Context, n int) {
+	_, sp := obs.Start(ctx, "round")
+	if n > 0 {
+		sp.End()
+		return
+	}
+	sp.End()
+}
+
+// okHandoff visibly transfers the span to another owner.
+func okHandoff(ctx context.Context) (context.Context, *obs.Span) {
+	ctx, sp := obs.Start(ctx, "lease")
+	return ctx, sp
+}
+
+func badEarlyReturn(ctx context.Context, n int) {
+	_, sp := obs.Start(ctx, "round") // want `does not reach End on every path`
+	if n > 0 {
+		return
+	}
+	sp.End()
+}
+
+func badNeverEnded(ctx context.Context) {
+	ctx, sp := obs.Start(ctx, "round") // want `tracing span "sp" from obs.Start never reaches End`
+	sp.SetAttr(obs.String("k", "v"))
+	work(ctx)
+}
+
+func badDiscard(ctx context.Context) context.Context {
+	ctx, _ = obs.Start(ctx, "round") // want `tracing span from obs.Start is discarded`
+	return ctx
+}
+
+func allowDirective(ctx context.Context) {
+	_, sp := obs.Start(ctx, "shutdown") //oasis:allow-spanpair ended by the session teardown
+	sp.SetAttr(obs.String("k", "v"))
+}

@@ -1,0 +1,44 @@
+// Package clean follows every contract; the e2e test asserts that vetting
+// it alone succeeds with no diagnostics.
+package clean
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"vetfixture/obs"
+	"vetfixture/tensor"
+)
+
+// Keyed draws from an explicit seeded stream.
+func Keyed(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// SortedIter sorts keys before emitting.
+func SortedIter(m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Println(k, m[k])
+	}
+}
+
+// PooledRoundTrip releases what it acquires.
+func PooledRoundTrip() float64 {
+	t := tensor.NewPooled(8)
+	defer t.Release()
+	return t.Sum()
+}
+
+// Traced pairs Start with End.
+func Traced(ctx context.Context) {
+	_, sp := obs.Start(ctx, "round")
+	defer sp.End()
+}

@@ -1,0 +1,27 @@
+// Package obs is a stdlib-only stand-in for the real tracing package,
+// selected in the e2e test via -spanpair.pkg=vetfixture/obs (and exempted
+// from walltime via -walltime.exempt=vetfixture/obs).
+package obs
+
+import (
+	"context"
+	"time"
+)
+
+// Span is a minimal tracing span.
+type Span struct {
+	name  string
+	start time.Time
+}
+
+// Start opens a span. The exempt flag makes this package's own clock reads
+// legal; everyone else must pair Start with End.
+func Start(ctx context.Context, name string) (context.Context, *Span) {
+	return ctx, &Span{name: name, start: time.Now()}
+}
+
+// End closes the span.
+func (s *Span) End() {}
+
+// Name returns the span name.
+func (s *Span) Name() string { return s.name }

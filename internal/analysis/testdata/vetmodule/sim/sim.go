@@ -1,0 +1,43 @@
+// Package sim carries one violation per analyzer so the e2e test can assert
+// that the real `go vet -vettool` pipeline reports each of them with a
+// file:line position.
+package sim
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"vetfixture/obs"
+	"vetfixture/tensor"
+)
+
+// BadRand uses the global math/rand stream. (rngdiscipline)
+func BadRand() int {
+	return rand.Intn(10)
+}
+
+// BadClock reads the wall clock outside obs. (walltime)
+func BadClock() time.Time {
+	return time.Now()
+}
+
+// BadMapIter prints in map order. (mapiter)
+func BadMapIter(m map[string]int) {
+	for k := range m {
+		fmt.Println(k)
+	}
+}
+
+// BadPool leaks a pooled tensor. (poolpair)
+func BadPool() float64 {
+	t := tensor.NewPooled(8)
+	return t.Sum()
+}
+
+// BadSpan never ends its span. (spanpair)
+func BadSpan(ctx context.Context) string {
+	_, sp := obs.Start(ctx, "round")
+	return sp.Name()
+}

@@ -1,0 +1,23 @@
+// Package tensor is a stdlib-only stand-in for the real pooled tensor
+// package, selected in the e2e test via -poolpair.pkg=vetfixture/tensor.
+package tensor
+
+// Tensor is a minimal pooled buffer.
+type Tensor struct {
+	Data []float64
+}
+
+// NewPooled acquires a tensor that must be Released.
+func NewPooled(n int) *Tensor { return &Tensor{Data: make([]float64, n)} }
+
+// Release returns the tensor to the pool.
+func (t *Tensor) Release() {}
+
+// Sum is an arbitrary read so fixtures can "use" a tensor.
+func (t *Tensor) Sum() float64 {
+	var s float64
+	for _, v := range t.Data {
+		s += v
+	}
+	return s
+}

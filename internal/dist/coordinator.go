@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
@@ -213,19 +214,34 @@ func (c *Coordinator) watchdog(ctx context.Context) {
 		case <-c.finished:
 			return
 		case now := <-tick.C:
-			c.mu.Lock()
-			for id, expiry := range c.leased {
-				if now.After(expiry) {
-					delete(c.leased, id)
-					c.queue = append(c.queue, id)
-					obsReleased.Inc()
-					c.logf("lease on job %d expired; re-queued", id)
-				}
-			}
-			c.cond.Broadcast()
-			c.mu.Unlock()
+			c.requeueExpired(now)
 		}
 	}
+}
+
+// requeueExpired returns every lease that expired before now to the work
+// queue. Expired IDs are sorted before re-queueing: map iteration order
+// must never decide which job a worker is handed next, or two runs of the
+// same crashed sweep would replay work in different orders.
+func (c *Coordinator) requeueExpired(now time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var expired []int
+	for id, expiry := range c.leased {
+		if now.After(expiry) {
+			expired = append(expired, id)
+		}
+	}
+	sort.Ints(expired)
+	for _, id := range expired {
+		delete(c.leased, id)
+		c.queue = append(c.queue, id)
+		obsReleased.Inc()
+		c.logf("lease on job %d expired; re-queued", id)
+	}
+	// Broadcast unconditionally: the watchdog tick doubles as a periodic
+	// wakeup for waiters re-checking queue/shutdown state.
+	c.cond.Broadcast()
 }
 
 // acquire blocks until a job can be leased, the grid finishes, or the
@@ -244,7 +260,7 @@ func (c *Coordinator) acquire(workerID string) (int, bool) {
 			if c.results[id] != nil {
 				continue // completed while queued (duplicate lease path)
 			}
-			c.leased[id] = time.Now().Add(c.cfg.LeaseTimeout)
+			c.leased[id] = time.Now().Add(c.cfg.LeaseTimeout) //oasis:allow-walltime lease expiry is a real-time deadline, not sim time
 			obsLeases.Inc()
 			return id, true
 		}
@@ -315,6 +331,8 @@ func (c *Coordinator) complete(res experiments.SweepJobResult, workerID string) 
 // lease/result exchanges until the grid completes. Any decode error — a
 // malformed gob stream, a truncated message, a dead peer — drops the
 // connection and returns the in-flight lease to the queue.
+//
+//oasis:allow-walltime connection and lease deadlines are real-time by design
 func (c *Coordinator) handle(conn net.Conn) {
 	defer conn.Close()
 	dec := gob.NewDecoder(conn)

@@ -1,0 +1,41 @@
+package dist
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRequeueExpiredSortsJobIDs pins the determinism fix in requeueExpired:
+// expired leases must return to the queue in job-ID order, not in map
+// iteration order. With map order, two runs of the same crashed sweep would
+// hand jobs back to workers in different orders. A map with many entries
+// makes an accidental in-order iteration astronomically unlikely.
+func TestRequeueExpiredSortsJobIDs(t *testing.T) {
+	const n = 64
+	c := &Coordinator{leased: make(map[int]time.Time)}
+	c.cond = sync.NewCond(&c.mu)
+	past := time.Now().Add(-time.Minute)
+	for id := 0; id < n; id++ {
+		c.leased[id] = past
+	}
+	// One lease still live: it must survive the sweep untouched.
+	c.leased[n] = time.Now().Add(time.Hour)
+
+	c.requeueExpired(time.Now())
+
+	if len(c.queue) != n {
+		t.Fatalf("queue has %d jobs, want %d", len(c.queue), n)
+	}
+	for i, id := range c.queue {
+		if id != i {
+			t.Fatalf("queue[%d] = %d; expired jobs must re-queue in sorted ID order, got %v", i, id, c.queue)
+		}
+	}
+	if len(c.leased) != 1 {
+		t.Fatalf("leased has %d entries after requeue, want 1 (the live lease)", len(c.leased))
+	}
+	if _, ok := c.leased[n]; !ok {
+		t.Fatalf("live lease for job %d was dropped by requeueExpired", n)
+	}
+}

@@ -121,6 +121,8 @@ var errSessionProgress = fmt.Errorf("session made progress before failing")
 // workerSession runs one dial→hello→lease-loop session. done=true means
 // RunWorker should return err as-is (goodbye or cancellation); done=false
 // means retry with backoff.
+//
+//oasis:allow-walltime connection deadlines against a remote peer are real-time by design
 func workerSession(ctx context.Context, cfg WorkerConfig, logf func(string, ...any)) (done bool, err error) {
 	if ctx.Err() != nil {
 		return true, ctx.Err()

@@ -1,0 +1,32 @@
+package fl
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestTCPServerClientsSorted pins the determinism fix in TCPServer.Clients:
+// the roster must come back sorted by client ID regardless of registration
+// (map) order, because it feeds Server.selectRound's sampler — with a
+// map-ordered roster the same rng draws would select different clients on
+// every run. Registering many clients makes an accidentally-sorted map
+// iteration astronomically unlikely.
+func TestTCPServerClientsSorted(t *testing.T) {
+	s := &TCPServer{clients: make(map[string]*remoteClient)}
+	const n = 64
+	// Insert in reverse order so insertion order is also wrong.
+	for i := n - 1; i >= 0; i-- {
+		id := fmt.Sprintf("client-%03d", i)
+		s.clients[id] = &remoteClient{id: id}
+	}
+	got := s.Clients()
+	if len(got) != n {
+		t.Fatalf("Clients() returned %d clients, want %d", len(got), n)
+	}
+	for i, c := range got {
+		want := fmt.Sprintf("client-%03d", i)
+		if c.ID() != want {
+			t.Fatalf("Clients()[%d] = %q, want %q (roster must be sorted by ID)", i, c.ID(), want)
+		}
+	}
+}

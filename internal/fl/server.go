@@ -478,6 +478,8 @@ func (s *Server) dispatch(ctx context.Context, round int, selected []Client, spe
 // duration observation when observability is enabled (plain delegation — no
 // timestamps, no allocation — when it is not). The span parents under the
 // round span carried by ctx, so worker utilization is readable per round.
+//
+//oasis:allow-walltime measures real client latency for the obs histogram; never feeds results
 func (s *Server) handleClient(ctx context.Context, round int, c Client, spec ModelSpec) (Update, error) {
 	if !obs.Enabled() {
 		return c.HandleRound(ctx, RoundRequest{Round: round, Model: spec})

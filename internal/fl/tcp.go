@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sort"
 	"sync"
 	"time"
 )
@@ -94,7 +95,7 @@ func (s *TCPServer) acceptLoop() {
 func (s *TCPServer) handshake(conn net.Conn) {
 	dec := gob.NewDecoder(conn)
 	enc := gob.NewEncoder(conn)
-	_ = conn.SetReadDeadline(time.Now().Add(s.opts.ExchangeTimeout))
+	_ = conn.SetReadDeadline(time.Now().Add(s.opts.ExchangeTimeout)) //oasis:allow-walltime handshake deadline against a remote peer is real time
 	var hello wireHello
 	if err := dec.Decode(&hello); err != nil || hello.ClientID == "" {
 		_ = conn.Close()
@@ -118,13 +119,22 @@ func (s *TCPServer) handshake(conn net.Conn) {
 	s.mu.Unlock()
 }
 
-// Clients returns the currently registered remote clients.
+// Clients returns the currently registered remote clients, sorted by
+// client ID. The roster feeds Server.selectRound's sampler, so its order
+// must be a function of the population, not of map iteration or of the
+// order in which connections happened to arrive — otherwise the same
+// sampler rng draws would select different clients on every run.
 func (s *TCPServer) Clients() []Client {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := make([]Client, 0, len(s.clients))
-	for _, c := range s.clients {
-		out = append(out, c)
+	ids := make([]string, 0, len(s.clients))
+	for id := range s.clients {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := make([]Client, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, s.clients[id])
 	}
 	return out
 }
@@ -155,9 +165,14 @@ func (s *TCPServer) WaitForClients(ctx context.Context, n int) error {
 func (s *TCPServer) Close() error {
 	s.mu.Lock()
 	s.closed = true
-	clients := make([]*remoteClient, 0, len(s.clients))
-	for _, c := range s.clients {
-		clients = append(clients, c)
+	ids := make([]string, 0, len(s.clients))
+	for id := range s.clients {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	clients := make([]*remoteClient, 0, len(ids))
+	for _, id := range ids {
+		clients = append(clients, s.clients[id])
 	}
 	s.clients = map[string]*remoteClient{}
 	s.mu.Unlock()
@@ -194,6 +209,8 @@ func (c *remoteClient) ID() string { return c.id }
 // deadline; the interrupted gob stream is unusable afterwards, which is
 // fine — cancellation means the run (or at least this round) is over, and
 // a reconnecting client re-registers through the normal handshake.
+//
+//oasis:allow-walltime exchange deadlines against a remote peer are real-time by design
 func (c *remoteClient) HandleRound(ctx context.Context, req RoundRequest) (Update, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()

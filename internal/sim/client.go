@@ -159,6 +159,8 @@ func (r *batchRecorder) Name() string {
 }
 
 // Apply records the first raw batch of an armed round, then delegates.
+//
+//oasis:allow-walltime measures real defense latency for the obs histogram; never feeds results
 func (r *batchRecorder) Apply(b *data.Batch) (*data.Batch, error) {
 	if r.armed && r.batch == nil {
 		r.batch = b.Clone()

@@ -298,6 +298,8 @@ func (s *scheduledAttack) Modify(round int, spec fl.ModelSpec) (fl.ModelSpec, er
 func (s *scheduledAttack) Name() string { return s.inner.Name() + "-scheduled" }
 
 // Observe inverts updates only on scheduled rounds.
+//
+//oasis:allow-walltime measures real reconstruction latency for the obs histogram; never feeds results
 func (s *scheduledAttack) Observe(round int, u fl.Update) {
 	if !s.active(round) {
 		return

@@ -75,4 +75,10 @@
 // BENCH_round.json at the repo root. CI re-measures and fails on >15%
 // regression; refresh the baselines with `go run ./cmd/oasis-bench -round`
 // whenever a change intentionally shifts kernel cost.
+//
+// The pooling discipline is enforced mechanically: the poolpair analyzer in
+// internal/analysis verifies that every NewPooled/ClonePooled value reaches
+// Release or visibly transfers ownership on all paths, as part of the
+// repo-wide determinism contract written up in the "Static analysis"
+// section of the repository README.
 package tensor

@@ -63,6 +63,8 @@ const kernelSpanSample = 64
 // (flops below parallelMinFlops) run inline on the caller's goroutine.
 // kernel names the operation for the observability layer; it does not affect
 // execution.
+//
+//oasis:allow-walltime measures real kernel latency for the obs histogram; never feeds results
 func parallelRows(kernel string, rows, flops int, body func(lo, hi int)) {
 	w := Workers()
 	if w > rows {
